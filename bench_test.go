@@ -1,0 +1,188 @@
+package privateer
+
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// benchmark per experiment (DESIGN.md's experiment index). They run the
+// scaled-down QuickConfig (train inputs) so `go test -bench=.` completes in
+// seconds; use cmd/privateer-bench for the full ref-input sweep.
+//
+// Each benchmark reports the experiment's headline numbers through
+// b.ReportMetric, so the shapes (Privateer speedup vs DOALL-only, privacy
+// overhead share, degradation under misspeculation) appear directly in the
+// bench output.
+
+import (
+	"testing"
+
+	"privateer/internal/bench"
+	"privateer/internal/core"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/progs"
+	"privateer/internal/specrt"
+	"privateer/internal/vm"
+)
+
+// suite builds one shared quick suite per benchmark process.
+var sharedSuite *bench.Suite
+
+func getSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	if sharedSuite == nil {
+		s, err := bench.NewSuite(bench.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedSuite = s
+	}
+	return sharedSuite
+}
+
+// BenchmarkTable1 renders the qualitative comparison matrix.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Table1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3 collects the per-program dynamic details.
+func BenchmarkTable3(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+		b.ReportMetric(float64(r.Rows[0].Checkpoints), "checkpoints")
+	}
+}
+
+// BenchmarkFig6 sweeps worker counts and reports the top geomean speedup.
+func BenchmarkFig6(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomeans[len(r.Geomeans)-1], "geomean-speedup")
+	}
+}
+
+// BenchmarkFig7 compares DOALL-only with Privateer.
+func BenchmarkFig7(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		doall, priv := r.Geomeans()
+		b.ReportMetric(doall, "doall-only-geomean")
+		b.ReportMetric(priv, "privateer-geomean")
+	}
+}
+
+// BenchmarkFig8 measures the overhead decomposition.
+func BenchmarkFig8(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report dijkstra's privacy-read share at the largest sweep point:
+		// the paper's dominant validation overhead.
+		bd := r.Breakdowns["dijkstra"]
+		if len(bd) > 0 {
+			b.ReportMetric(bd[len(bd)-1].PrivReadPct, "dijkstra-privread-%")
+		}
+	}
+}
+
+// BenchmarkFig9 measures degradation under injected misspeculation.
+func BenchmarkFig9(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := r.Speedups[r.ProgramOrder[0]][0]
+		worst := r.Speedups[r.ProgramOrder[0]][len(r.Rates)-1]
+		if base > 0 {
+			b.ReportMetric(worst/base, "retained-speedup-fraction")
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkInterpreter measures raw interpretation speed on the quickstart
+// kernel (instructions per second appear as steps/op via b.ReportMetric).
+func BenchmarkInterpreter(b *testing.B) {
+	p := progs.Dijkstra()
+	mod := p.Build(p.Train)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		it := interp.New(mod, vm.NewAddressSpace())
+		if _, err := it.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps = it.Steps
+	}
+	b.ReportMetric(float64(steps), "steps/run")
+}
+
+// BenchmarkCOWClone measures address-space cloning, the runtime's spawn
+// primitive.
+func BenchmarkCOWClone(b *testing.B) {
+	as := vm.NewAddressSpace()
+	base, err := as.Alloc(ir.HeapPrivate, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for off := uint64(0); off < 1<<20; off += vm.PageSize {
+		if err := as.Write(base+off, 8, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := as.Clone()
+		_ = c
+	}
+}
+
+// BenchmarkPrivacyValidation measures the shadow-memory fast phase through
+// a full speculative run of the most privacy-intensive benchmark.
+func BenchmarkPrivacyValidation(b *testing.B) {
+	p := progs.Dijkstra()
+	par, err := core.Parallelize(p.Build(p.Train), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, _, err := core.Run(par, specrt.Config{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rt.Stats.PrivReadChecks+rt.Stats.PrivWriteChecks), "privacy-checks")
+	}
+}
+
+// BenchmarkProfiler measures the instrumented profiling run.
+func BenchmarkProfiler(b *testing.B) {
+	p := progs.EncMD5()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Parallelize(p.Build(p.Train), core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command privateer-bench regenerates the paper's evaluation: Table 1,
+// Table 3, and Figures 6-9 (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	privateer-bench                    # everything, ref inputs (~1 minute)
+//	privateer-bench -experiment fig6
+//	privateer-bench -quick             # scaled-down sweep on train inputs
+//	privateer-bench -programs dijkstra,enc-md5 -experiment fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"privateer/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"all, table1, table3, fig6, fig7, fig8, fig9, or ablation")
+		input    = flag.String("input", "", "input class override: train, ref, alt")
+		quick    = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
+		programs = flag.String("programs", "", "comma-separated subset of benchmarks")
+		workers  = flag.Int("workers", 0, "machine size override for fig7/fig9")
+	)
+	flag.Parse()
+	if err := run(*experiment, *input, *quick, *programs, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "privateer-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, input string, quick bool, programs string, workers int) error {
+	cfg := bench.DefaultConfig()
+	if quick {
+		cfg = bench.QuickConfig()
+	}
+	if input != "" {
+		cfg.Input = input
+	}
+	if programs != "" {
+		cfg.Programs = strings.Split(programs, ",")
+	}
+	if workers > 0 {
+		cfg.FixedWorkers = workers
+	}
+
+	if experiment == "table1" {
+		fmt.Println(bench.Table1())
+		return nil
+	}
+	suite, err := bench.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	switch experiment {
+	case "all":
+		out, err := suite.All()
+		fmt.Println(out)
+		return err
+	case "table3":
+		r, err := suite.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "fig6":
+		r, err := suite.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "fig7":
+		r, err := suite.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "fig8":
+		r, err := suite.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "fig9":
+		r, err := suite.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+	case "ablation":
+		cp, err := suite.AblationCheckpointPeriod("dijkstra",
+			[]int64{1, 2, 4, 8, 16, 32, 64}, 0.03)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cp.Format())
+		el, err := bench.AblationElision(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(el.Format())
+		vp, err := bench.AblationValuePrediction(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(vp.Format())
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command privateer-dump exposes the compiler's intermediate artifacts for
+// one benchmark: the training profile's hot loops, the heap assignment
+// (the paper's Figure 4), the speculation plan, and the IR before and after
+// the privatizing transformation (the paper's Figure 2).
+//
+// Usage:
+//
+//	privateer-dump -prog dijkstra -heaps
+//	privateer-dump -prog dijkstra -ir
+//	privateer-dump -prog enc-md5 -profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privateer/internal/core"
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+	"privateer/internal/progs"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "dijkstra", "benchmark name")
+		input    = flag.String("input", "train", "input class: train, ref, alt")
+		showIR   = flag.Bool("ir", false, "dump IR before and after transformation")
+		outFile  = flag.String("o", "", "write the untransformed textual IR to a file (runnable via privateer -irfile)")
+		heaps    = flag.Bool("heaps", false, "dump the heap assignment (Figure 4)")
+		profile  = flag.Bool("profile", false, "dump hot loops and carried dependences")
+	)
+	flag.Parse()
+	if err := run(*progName, *input, *showIR, *heaps, *profile, *outFile); err != nil {
+		fmt.Fprintln(os.Stderr, "privateer-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(progName, input string, showIR, heaps, profile bool, outFile string) error {
+	p := progs.ByName(progName)
+	if p == nil {
+		return fmt.Errorf("unknown program %q", progName)
+	}
+	var in progs.Input
+	switch input {
+	case "train":
+		in = p.Train
+	case "ref":
+		in = p.Ref
+	case "alt":
+		in = p.Alt
+	default:
+		return fmt.Errorf("unknown input class %q", input)
+	}
+	if outFile != "" {
+		if err := os.WriteFile(outFile, []byte(ir.FormatModule(p.Build(in))), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%s, %s input)\n", outFile, p.Name, in)
+		if !showIR && !heaps && !profile {
+			return nil
+		}
+	}
+	if !showIR && !heaps && !profile {
+		heaps = true // default view
+	}
+
+	if profile {
+		prof, err := profiling.Run(p.Build(in))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("profile of %s (%s): %d dynamic instructions\n", p.Name, in, prof.Steps)
+		for _, li := range prof.HotLoops() {
+			fmt.Printf("  loop %-28s invocations=%-6d iterations=%-8d steps=%d\n",
+				li.Loop, li.Invocations, li.Iterations, li.Steps)
+			for _, d := range prof.CarriedFlow[li.Loop] {
+				fmt.Printf("    carried flow via %-18s x%-8d %s -> %s\n",
+					d.Object, d.Count, d.Src.Format(), d.Dst.Format())
+			}
+		}
+		fmt.Println()
+	}
+
+	var before string
+	if showIR {
+		before = ir.FormatModule(p.Build(in))
+	}
+	par, err := core.Parallelize(p.Build(in), core.Options{})
+	if err != nil {
+		return err
+	}
+	if heaps {
+		fmt.Print(par.Summary())
+		for _, ri := range par.Regions {
+			fmt.Printf("\npredicted locations:\n")
+			for _, pl := range ri.Assign.Predictions {
+				fmt.Printf("  @%s+%d (%d bytes) == %#x\n",
+					pl.Global.Name, pl.Offset, pl.Size, pl.Value)
+			}
+			st := ri.TStats
+			fmt.Printf("transformation: %d separation checks (+%d elided), "+
+				"%d/%d privacy read/write checks, %d redux marks, %d predictions, %d cold guards\n",
+				st.SeparationChecks, st.SeparationElided,
+				st.PrivacyReads, st.PrivacyWrites, st.ReduxMarks, st.Predicts, st.ColdGuards)
+		}
+	}
+	if showIR {
+		fmt.Println("==== IR before transformation ====")
+		fmt.Println(before)
+		fmt.Println("==== IR after transformation and outlining ====")
+		fmt.Println(ir.FormatModule(par.Mod))
+	}
+	return nil
+}

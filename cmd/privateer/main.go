@@ -1,0 +1,238 @@
+// Command privateer runs one of the benchmark programs through the full
+// Privateer pipeline — profile, classify, select, transform, DOALL — and
+// executes it under the speculative runtime, reporting the heap assignment,
+// runtime statistics and simulated speedup over the best sequential
+// execution.
+//
+// Usage:
+//
+//	privateer -prog dijkstra -workers 8
+//	privateer -prog blackscholes -workers 24 -input ref -misspec 0.01
+//	privateer -prog enc-md5 -mode doall      # the non-speculative baseline
+//	privateer -prog swaptions -mode seq      # plain sequential execution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"privateer/internal/core"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/progs"
+	"privateer/internal/specrt"
+	"privateer/internal/vm"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "dijkstra", "benchmark: "+names())
+		irFile   = flag.String("irfile", "", "run a textual-IR module from a file instead of a named benchmark")
+		runArgs  = flag.String("args", "", "comma-separated integer arguments for -irfile programs")
+		input    = flag.String("input", "ref", "input class: train, ref, alt")
+		workers  = flag.Int("workers", 8, "worker process count")
+		mode     = flag.String("mode", "privateer", "privateer, doall, or seq")
+		misspec  = flag.Float64("misspec", 0, "injected misspeculation rate per iteration")
+		seed     = flag.Uint64("seed", 0xC0FFEE, "injection seed")
+		period   = flag.Int64("checkpoint", 0, "checkpoint period in iterations (0 = auto)")
+		optimize = flag.Bool("O", false, "run the mid-end optimizer before profiling")
+		showOut  = flag.Bool("output", false, "print the program's output")
+		quiet    = flag.Bool("quiet", false, "suppress the pipeline summary")
+	)
+	flag.Parse()
+	buildHook = *optimize
+	var err error
+	if *irFile != "" {
+		err = runIRFile(*irFile, *runArgs, *workers, *misspec, *seed, *period, *showOut, *quiet)
+	} else {
+		err = run(*progName, *input, *workers, *mode, *misspec, *seed, *period, *showOut, *quiet)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "privateer:", err)
+		os.Exit(1)
+	}
+}
+
+// runIRFile parses a textual-IR module, parallelizes it automatically and
+// runs it speculatively, comparing against its own sequential execution.
+func runIRFile(path, argList string, workers int, misspec float64,
+	seed uint64, period int64, showOut, quiet bool) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var args []uint64
+	if argList != "" {
+		for _, tok := range strings.Split(argList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -args element %q: %w", tok, err)
+			}
+			args = append(args, v)
+		}
+	}
+	// Sequential baseline (a fresh parse: the pipeline mutates modules).
+	seqMod, err := ir.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	seqIt := interp.New(seqMod, vm.NewAddressSpace())
+	seqVal, err := seqIt.Run(args...)
+	if err != nil {
+		return fmt.Errorf("sequential run: %w", err)
+	}
+	fmt.Printf("sequential: result %d, %d interpreted instructions\n", int64(seqVal), seqIt.Steps)
+
+	mod, err := ir.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	par, err := core.Parallelize(mod, core.Options{TrainArgs: args})
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Print(par.Summary())
+	}
+	if len(par.Regions) == 0 {
+		fmt.Println("nothing parallelized; sequential result stands")
+		if showOut {
+			fmt.Print(seqIt.Out.String())
+		}
+		return nil
+	}
+	rt, got, err := core.Run(par, specrt.Config{
+		Workers: workers, MisspecRate: misspec, Seed: seed, CheckpointPeriod: period,
+	}, args...)
+	if err != nil {
+		return err
+	}
+	match := "MATCHES"
+	if got != seqVal {
+		match = "DIFFERS FROM"
+	}
+	fmt.Printf("parallel: result %d (%s sequential), %d misspeculations, speedup %.2fx\n",
+		int64(got), match, rt.Stats.Misspecs, float64(seqIt.Steps)/float64(rt.Sim.Time()))
+	if showOut {
+		fmt.Print(rt.Output())
+	}
+	return nil
+}
+
+// buildHook enables ir.OptimizeModule on freshly built modules.
+var buildHook bool
+
+// build constructs (and optionally optimizes) a benchmark module.
+func build(p *progs.Program, in progs.Input) *ir.Module {
+	m := p.Build(in)
+	if buildHook {
+		ir.OptimizeModule(m)
+	}
+	return m
+}
+
+func names() string {
+	var ns []string
+	for _, p := range progs.All() {
+		ns = append(ns, p.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+func inputFor(p *progs.Program, name string) (progs.Input, error) {
+	switch name {
+	case "train":
+		return p.Train, nil
+	case "ref":
+		return p.Ref, nil
+	case "alt":
+		return p.Alt, nil
+	default:
+		return progs.Input{}, fmt.Errorf("unknown input class %q", name)
+	}
+}
+
+func run(progName, input string, workers int, mode string, misspec float64,
+	seed uint64, period int64, showOut, quiet bool) error {
+	p := progs.ByName(progName)
+	if p == nil {
+		return fmt.Errorf("unknown program %q (have: %s)", progName, names())
+	}
+	in, err := inputFor(p, input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s, input %s\n", p.Name, in)
+
+	// Best sequential execution for the speedup baseline.
+	seqIt := interp.New(build(p, in), vm.NewAddressSpace())
+	if _, err := seqIt.Run(); err != nil {
+		return fmt.Errorf("sequential run: %w", err)
+	}
+	fmt.Printf("sequential: %d interpreted instructions\n", seqIt.Steps)
+
+	switch mode {
+	case "seq":
+		if showOut {
+			fmt.Print(seqIt.Out.String())
+		}
+		return nil
+	case "doall":
+		static, err := core.ParallelizeStatic(build(p, in), core.Options{})
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			for _, r := range static.Reports {
+				status := "selected"
+				if !r.Selected {
+					status = "rejected: " + r.Reason
+				}
+				fmt.Printf("  loop %-26s %s\n", r.Loop, status)
+			}
+		}
+		runRes, err := core.RunStatic(static, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DOALL-only: %d loops, %d invocations, simulated time %d, speedup %.2fx\n",
+			len(static.Regions), runRes.Baseline.Stats.Invocations,
+			runRes.SimTime(), float64(seqIt.Steps)/float64(runRes.SimTime()))
+		if showOut {
+			fmt.Print(runRes.Output)
+		}
+		return nil
+	case "privateer":
+		par, err := core.Parallelize(build(p, in), core.Options{})
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Print(par.Summary())
+		}
+		rt, _, err := core.Run(par, specrt.Config{
+			Workers: workers, MisspecRate: misspec, Seed: seed, CheckpointPeriod: period,
+		})
+		if err != nil {
+			return err
+		}
+		st := rt.Stats
+		fmt.Printf("privateer: %d workers, %d invocations, %d checkpoints, "+
+			"%d misspeculations, %d recoveries\n",
+			workers, st.Invocations, st.Checkpoints, st.Misspecs, st.Recoveries)
+		fmt.Printf("privacy: %d reads (%d B), %d writes (%d B); %d separation checks; %d predictions\n",
+			st.PrivReadChecks, st.PrivReadBytes, st.PrivWriteChecks, st.PrivWriteBytes,
+			st.SeparationChecks, st.Predictions)
+		fmt.Printf("simulated time %d, speedup %.2fx\n",
+			rt.Sim.Time(), float64(seqIt.Steps)/float64(rt.Sim.Time()))
+		if showOut {
+			fmt.Print(rt.Output())
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}

@@ -1,0 +1,14 @@
+// Package privateer reproduces "Speculative Separation for Privatization
+// and Reductions" (Johnson, Kim, Prabhu, Zaks, August — PLDI 2012) as a
+// self-contained Go system: a compiler IR and pass pipeline, profilers, the
+// five-way heap classification, the privatizing transformation, a
+// speculative DOALL runtime with shadow-memory privacy validation,
+// checkpointing and recovery, the five benchmark programs of the paper's
+// evaluation, and a harness regenerating every table and figure.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and substitution table, and EXPERIMENTS.md for measured
+// results. The package tree lives under internal/; cmd/privateer,
+// cmd/privateer-bench and cmd/privateer-dump are the executables, and
+// examples/ holds runnable walkthroughs.
+package privateer

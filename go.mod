@@ -1,0 +1,3 @@
+module privateer
+
+go 1.22

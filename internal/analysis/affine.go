@@ -1,0 +1,131 @@
+package analysis
+
+import "privateer/internal/ir"
+
+// Affine describes an address expression of the canonical form
+// Base + Stride*IV + Offset, where Base is loop-invariant and IV is the
+// loop's canonical induction variable. Classic DOALL dependence tests
+// (and hence the paper's non-speculative baseline) can disambiguate such
+// accesses across iterations.
+type Affine struct {
+	// Base identifies the loop-invariant component (nil when the address
+	// is a pure constant plus IV multiple). Address-of-global
+	// instructions are canonicalized to their *ir.Global so that distinct
+	// instructions naming the same global compare equal; otherwise it is
+	// the defining ir.Value.
+	Base interface{}
+	// Stride is the IV coefficient.
+	Stride int64
+	// Offset is the constant term.
+	Offset int64
+}
+
+// DecomposeAffine tries to express addr as an affine function of l's
+// canonical induction variable iv. It returns false when addr does not fit
+// the form — pointer chasing, modulo indexing, or values loaded from memory
+// inside the loop all fail here, exactly the cases that defeat static
+// parallelization in the paper.
+func DecomposeAffine(l *ir.Loop, iv *ir.InductionVar, addr ir.Value) (Affine, bool) {
+	var walk func(v ir.Value) (Affine, bool)
+	walk = func(v ir.Value) (Affine, bool) {
+		if iv != nil && v == ir.Value(iv.Phi) {
+			return Affine{Stride: 1}, true
+		}
+		in, isInstr := v.(*ir.Instr)
+		if !isInstr {
+			// Params are loop-invariant.
+			return Affine{Base: v}, true
+		}
+		if in.Op == ir.OpGlobal {
+			// Globals are loop-invariant wherever the address is taken;
+			// canonicalize so repeated address-of instructions agree.
+			return Affine{Base: in.GlobalRef}, true
+		}
+		if in.Op == ir.OpConst {
+			return Affine{Offset: int64(in.Const)}, true
+		}
+		if !l.ContainsInstr(in) {
+			// Defined outside the loop: loop-invariant.
+			return Affine{Base: v}, true
+		}
+		switch in.Op {
+		case ir.OpPtrToInt, ir.OpIntToPtr:
+			return walk(in.Args[0])
+		case ir.OpAdd, ir.OpSub:
+			a, okA := walk(in.Args[0])
+			b, okB := walk(in.Args[1])
+			if !okA || !okB {
+				return Affine{}, false
+			}
+			if in.Op == ir.OpSub {
+				if b.Base != nil {
+					return Affine{}, false // cannot negate a symbolic base
+				}
+				b.Stride = -b.Stride
+				b.Offset = -b.Offset
+			}
+			if a.Base != nil && b.Base != nil {
+				return Affine{}, false // at most one symbolic base
+			}
+			base := a.Base
+			if base == nil {
+				base = b.Base
+			}
+			return Affine{Base: base, Stride: a.Stride + b.Stride, Offset: a.Offset + b.Offset}, true
+		case ir.OpMul:
+			a, okA := walk(in.Args[0])
+			b, okB := walk(in.Args[1])
+			if !okA || !okB {
+				return Affine{}, false
+			}
+			// One side must be a pure constant, and a symbolic base can
+			// never be scaled.
+			if a.Base == nil && a.Stride == 0 && b.Base == nil {
+				return Affine{Stride: b.Stride * a.Offset, Offset: b.Offset * a.Offset}, true
+			}
+			if b.Base == nil && b.Stride == 0 && a.Base == nil {
+				return Affine{Stride: a.Stride * b.Offset, Offset: a.Offset * b.Offset}, true
+			}
+			return Affine{}, false
+		case ir.OpShl:
+			a, okA := walk(in.Args[0])
+			b, okB := walk(in.Args[1])
+			if !okA || !okB || b.Base != nil || b.Stride != 0 || a.Base != nil {
+				return Affine{}, false
+			}
+			return Affine{Stride: a.Stride << uint(b.Offset), Offset: a.Offset << uint(b.Offset)}, true
+		}
+		return Affine{}, false
+	}
+	a, ok := walk(addr)
+	if !ok {
+		return Affine{}, false
+	}
+	// Multiplying a symbolic base by a constant is not a valid address
+	// form; walk already rejects it (see OpMul's boolean results).
+	return a, true
+}
+
+// NoCarriedOverlap reports whether two affine accesses of the given sizes,
+// sharing the same loop and canonical IV, provably never touch the same
+// bytes in different iterations. Both must have the same symbolic base and
+// the same nonzero stride; the stride must out-pace the footprint widths
+// plus the offset distance, so distinct IV values map to disjoint windows.
+func NoCarriedOverlap(a, b Affine, sizeA, sizeB int64) bool {
+	if a.Base != b.Base || a.Stride != b.Stride || a.Stride == 0 {
+		return false
+	}
+	stride := a.Stride
+	if stride < 0 {
+		stride = -stride
+	}
+	dc := a.Offset - b.Offset
+	if dc < 0 {
+		dc = -dc
+	}
+	maxSize := sizeA
+	if sizeB > maxSize {
+		maxSize = sizeB
+	}
+	return stride >= dc+maxSize
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"testing"
+
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+)
+
+// buildPtrFlow: a global holds a pointer to a malloc'd object; a load
+// retrieves it and stores through it.
+func buildPtrFlow(t *testing.T) (*ir.Module, *ir.Global, *ir.Instr, *ir.Instr) {
+	t.Helper()
+	m := ir.NewModule("ptr")
+	slot := m.NewGlobal("slot", 8)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	obj := b.Malloc("obj", b.I(64))
+	b.Store(obj, b.Global(slot), 8)
+	loaded := b.LoadPtr(b.Global(slot))
+	b.Store(b.I(7), loaded, 8)
+	b.Ret(b.Load(loaded, 8))
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, slot, obj, loaded
+}
+
+func TestPointsToTracksHeapFlow(t *testing.T) {
+	m, slot, obj, loaded := buildPtrFlow(t)
+	pt := ComputePointsTo(m)
+	f := m.Funcs["main"]
+	objs := pt.ValueObjects(f, loaded)
+	if !objs[profiling.Object{Site: obj}] {
+		t.Errorf("loaded pointer should point to the malloc site, got %v", objs.Names())
+	}
+	if objs[Unknown] {
+		t.Error("loaded pointer should be fully resolved")
+	}
+	// The global's address and the loaded pointer must not alias (they
+	// reference different objects).
+	var slotAddr ir.Value
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpGlobal && in.GlobalRef == slot {
+			slotAddr = in
+		}
+	})
+	if pt.MayAlias(f, slotAddr, f, loaded) {
+		t.Error("slot address and loaded object should not alias")
+	}
+}
+
+func TestPointsToThroughCalls(t *testing.T) {
+	m := ir.NewModule("call")
+	mk := m.NewFunc("mk", ir.Ptr)
+	var site *ir.Instr
+	{
+		b := ir.NewBuilder(mk)
+		site = b.Malloc("thing", b.I(8))
+		b.Ret(site)
+	}
+	use := m.NewFunc("use", ir.Void)
+	up := use.NewParam("p", ir.Ptr)
+	{
+		b := ir.NewBuilder(use)
+		b.Store(b.I(1), up, 8)
+		b.Ret()
+	}
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	p := b.Call(mk)
+	b.Call(use, p)
+	b.Ret(b.I(0))
+	pt := ComputePointsTo(m)
+	// The call result flows from the callee's return.
+	if objs := pt.ValueObjects(f, p); !objs[profiling.Object{Site: site}] {
+		t.Errorf("call result misses callee allocation: %v", objs.Names())
+	}
+	// The parameter receives the argument's objects.
+	if objs := pt.ValueObjects(use, up); !objs[profiling.Object{Site: site}] {
+		t.Errorf("parameter misses argument objects: %v", objs.Names())
+	}
+}
+
+func TestPointsToPhiAndSelect(t *testing.T) {
+	m := ir.NewModule("phi")
+	g1 := m.NewGlobal("g1", 8)
+	g2 := m.NewGlobal("g2", 8)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	a1 := b.Global(g1)
+	a2 := b.Global(g2)
+	sel := b.Select(b.I(1), a1, a2)
+	b.Ret(b.Load(sel, 8))
+	pt := ComputePointsTo(m)
+	objs := pt.ValueObjects(f, sel)
+	if !objs[profiling.Object{Global: g1}] || !objs[profiling.Object{Global: g2}] {
+		t.Errorf("select should point to both globals: %v", objs.Names())
+	}
+}
+
+func TestUnknownForOpaqueValues(t *testing.T) {
+	m := ir.NewModule("opaque")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	v := b.IntToPtrVal(b.I(0x1234)) // a manufactured pointer
+	b.Ret(b.Load(v, 8))
+	pt := ComputePointsTo(m)
+	objs := pt.ValueObjects(f, v)
+	if !objs[Unknown] {
+		t.Errorf("manufactured pointer should be Unknown: %v", objs.Names())
+	}
+	// Unknown aliases everything.
+	g := m.NewGlobal("g", 8)
+	_ = g
+	if !pt.MayAlias(f, v, f, v) {
+		t.Error("unknown must alias itself")
+	}
+}
+
+// --- affine analysis ---
+
+// loopWith builds `for (i=0; i<n; i++) body(iv)` in SSA form and returns
+// the loop + IV.
+func loopWith(t *testing.T, body func(b *ir.Builder, iv *ir.Instr) ir.Value) (*ir.Loop, *ir.InductionVar, ir.Value) {
+	t.Helper()
+	m := ir.NewModule("aff")
+	g := m.NewGlobal("arr", 8*128)
+	_ = g
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	var addr ir.Value
+	b.For("i", b.I(0), b.I(16), func(iv *ir.Instr) {
+		addr = body(b, iv)
+		b.Store(b.I(1), addr, 8)
+	})
+	b.Ret(b.I(0))
+	ir.PromoteAllocas(f)
+	f.Recompute()
+	dt := ir.BuildDomTree(f)
+	loops := ir.FindLoops(f, dt)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	iv := ir.FindInductionVar(loops[0])
+	if iv == nil {
+		t.Fatal("no IV")
+	}
+	// addr was built with the alloca'd iv; after mem2reg its operands were
+	// rewritten in place, so addr is still the right instruction.
+	return loops[0], iv, addr
+}
+
+func TestAffineBasic(t *testing.T) {
+	var gRef *ir.Global
+	l, iv, addr := loopWith(t, func(b *ir.Builder, ivv *ir.Instr) ir.Value {
+		gRef = b.F.Mod.Globals["arr"]
+		return b.Add(b.Global(gRef), b.Mul(b.Ld(ivv), b.I(8)))
+	})
+	a, ok := DecomposeAffine(l, iv, addr)
+	if !ok {
+		t.Fatal("affine decomposition failed")
+	}
+	if a.Base != interface{}(gRef) || a.Stride != 8 || a.Offset != 0 {
+		t.Errorf("affine = %+v, want base=arr stride=8 offset=0", a)
+	}
+}
+
+func TestAffineWithOffsetAndShl(t *testing.T) {
+	l, iv, addr := loopWith(t, func(b *ir.Builder, ivv *ir.Instr) ir.Value {
+		// arr + (i << 3) + 16
+		return b.Add(b.Add(b.Global(b.F.Mod.Globals["arr"]), b.Shl(b.Ld(ivv), b.I(3))), b.I(16))
+	})
+	a, ok := DecomposeAffine(l, iv, addr)
+	if !ok {
+		t.Fatal("decomposition failed")
+	}
+	if a.Stride != 8 || a.Offset != 16 {
+		t.Errorf("affine = %+v, want stride=8 offset=16", a)
+	}
+}
+
+func TestAffineRejectsModulo(t *testing.T) {
+	l, iv, addr := loopWith(t, func(b *ir.Builder, ivv *ir.Instr) ir.Value {
+		return b.Add(b.Global(b.F.Mod.Globals["arr"]), b.Mul(b.SRem(b.Ld(ivv), b.I(4)), b.I(8)))
+	})
+	if _, ok := DecomposeAffine(l, iv, addr); ok {
+		t.Error("modulo indexing must not be affine")
+	}
+}
+
+func TestNoCarriedOverlapRules(t *testing.T) {
+	base := &ir.Global{Name: "x"}
+	cases := []struct {
+		a, b       Affine
+		sa, sb     int64
+		wantNoConf bool
+	}{
+		{Affine{base, 8, 0}, Affine{base, 8, 0}, 8, 8, true},   // same slot per iter
+		{Affine{base, 8, 0}, Affine{base, 8, 4}, 4, 4, true},   // disjoint 4-byte windows within an 8-byte stride
+		{Affine{base, 8, 0}, Affine{base, 8, 4}, 8, 8, false},  // windows overlap
+		{Affine{base, 0, 0}, Affine{base, 0, 0}, 8, 8, false},  // stride 0: same byte every iteration
+		{Affine{base, 16, 0}, Affine{base, 8, 0}, 8, 8, false}, // stride mismatch
+		{Affine{base, -8, 0}, Affine{base, -8, 0}, 8, 8, true}, // negative stride fine
+		{Affine{nil, 8, 0}, Affine{base, 8, 0}, 8, 8, false},   // different bases
+	}
+	for i, c := range cases {
+		got := NoCarriedOverlap(c.a, c.b, c.sa, c.sb)
+		if got != c.wantNoConf {
+			t.Errorf("case %d: NoCarriedOverlap = %v, want %v", i, got, c.wantNoConf)
+		}
+	}
+}

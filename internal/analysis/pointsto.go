@@ -1,0 +1,187 @@
+// Package analysis implements conservative static analyses over Privateer
+// IR: an Andersen-style, allocation-site-based, field-insensitive points-to
+// analysis and an affine access-pattern analysis for canonical loops.
+//
+// These are the "static analysis" of the paper's comparison: strong enough
+// to parallelize regular array kernels (the DOALL-only baseline of Figure 7)
+// and to elide provably redundant separation checks (section 4.5), but —
+// deliberately, as in the paper — defeated by pointer indirection, dynamic
+// allocation and irregular data structures, which is exactly the gap
+// speculative separation closes.
+package analysis
+
+import (
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+)
+
+// Unknown is the abstract object standing for anything the analysis cannot
+// name: unresolved integers used as pointers, external memory, or null.
+var Unknown = profiling.Object{}
+
+// PointsTo is the result of the whole-module points-to analysis.
+type PointsTo struct {
+	// valueSets maps every SSA value (per function, by value ID) to its
+	// points-to set.
+	valueSets map[*ir.Function][]objSet
+	// heapSets maps each abstract object to the points-to set of the
+	// pointers stored inside it (field-insensitive).
+	heapSets map[profiling.Object]objSet
+}
+
+type objSet map[profiling.Object]bool
+
+func (s objSet) add(o profiling.Object) bool {
+	if s[o] {
+		return false
+	}
+	s[o] = true
+	return true
+}
+
+// ValueObjects returns the abstract objects v may point to within f. A set
+// containing Unknown may point anywhere.
+func (pt *PointsTo) ValueObjects(f *ir.Function, v ir.Value) profiling.ObjectSet {
+	out := profiling.ObjectSet{}
+	sets := pt.valueSets[f]
+	if sets == nil || v.ValueID() >= len(sets) {
+		out[Unknown] = true
+		return out
+	}
+	for o := range sets[v.ValueID()] {
+		out[o] = true
+	}
+	if len(out) == 0 {
+		// A value with no recorded targets is not a proven-null pointer;
+		// treat it as unknown.
+		out[Unknown] = true
+	}
+	return out
+}
+
+// MayAlias reports whether values a and b (in functions fa and fb) may
+// reference overlapping storage.
+func (pt *PointsTo) MayAlias(fa *ir.Function, a ir.Value, fb *ir.Function, b ir.Value) bool {
+	sa := pt.ValueObjects(fa, a)
+	sb := pt.ValueObjects(fb, b)
+	if sa[Unknown] || sb[Unknown] {
+		return true
+	}
+	for o := range sa {
+		if sb[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputePointsTo runs the Andersen-style analysis over the module to a
+// fixpoint. Direct calls are handled context-insensitively; every value is
+// tracked regardless of static type, since integers may carry disguised
+// pointers through casts.
+func ComputePointsTo(m *ir.Module) *PointsTo {
+	pt := &PointsTo{
+		valueSets: map[*ir.Function][]objSet{},
+		heapSets:  map[profiling.Object]objSet{},
+	}
+	for _, f := range m.SortedFuncs() {
+		sets := make([]objSet, f.NumValues())
+		for i := range sets {
+			sets[i] = objSet{}
+		}
+		pt.valueSets[f] = sets
+	}
+	heapSet := func(o profiling.Object) objSet {
+		s := pt.heapSets[o]
+		if s == nil {
+			s = objSet{}
+			pt.heapSets[o] = s
+		}
+		return s
+	}
+
+	// Iterate transfer functions to a fixpoint. Module sizes are small, so
+	// a simple round-robin pass is adequate.
+	for changed := true; changed; {
+		changed = false
+		flowInto := func(dst objSet, src objSet) {
+			for o := range src {
+				if dst.add(o) {
+					changed = true
+				}
+			}
+		}
+		for _, f := range m.SortedFuncs() {
+			sets := pt.valueSets[f]
+			get := func(v ir.Value) objSet { return sets[v.ValueID()] }
+			f.Instrs(func(in *ir.Instr) {
+				switch in.Op {
+				case ir.OpAlloca, ir.OpMalloc, ir.OpHAlloc:
+					if get(in).add(profiling.Object{Site: in}) {
+						changed = true
+					}
+				case ir.OpGlobal:
+					if get(in).add(profiling.Object{Global: in.GlobalRef}) {
+						changed = true
+					}
+				case ir.OpAdd, ir.OpSub:
+					// Pointer arithmetic: the result may point into any
+					// object either operand points into.
+					flowInto(get(in), get(in.Args[0]))
+					flowInto(get(in), get(in.Args[1]))
+				case ir.OpSelect:
+					flowInto(get(in), get(in.Args[1]))
+					flowInto(get(in), get(in.Args[2]))
+				case ir.OpPhi:
+					for _, a := range in.Args {
+						flowInto(get(in), get(a))
+					}
+				case ir.OpPtrToInt, ir.OpIntToPtr:
+					flowInto(get(in), get(in.Args[0]))
+				case ir.OpLoad:
+					// r = load p: heap(o) flows to r for each o in pts(p).
+					// A load whose result set stays empty holds scalar
+					// data; if such a value is nevertheless used as a
+					// pointer, ValueObjects reports Unknown at query time.
+					addrs := get(in.Args[0])
+					for o := range addrs {
+						if o == Unknown {
+							if get(in).add(Unknown) {
+								changed = true
+							}
+							continue
+						}
+						flowInto(get(in), heapSet(o))
+					}
+				case ir.OpStore:
+					// store v, p: pts(v) flows into heap(o).
+					addrs := get(in.Args[1])
+					val := get(in.Args[0])
+					for o := range addrs {
+						if o == Unknown {
+							continue
+						}
+						flowInto(heapSet(o), val)
+					}
+				case ir.OpCall:
+					callee := in.Callee
+					csets := pt.valueSets[callee]
+					for i, p := range callee.Params {
+						for o := range get(in.Args[i]) {
+							if csets[p.ValueID()].add(o) {
+								changed = true
+							}
+						}
+					}
+					// Return value: union of all callee ret operands.
+					for _, b := range callee.Blocks {
+						if t := b.Terminator(); t != nil && t.Op == ir.OpRet && len(t.Args) == 1 {
+							flowInto(get(in), csets[t.Args[0].ValueID()])
+						}
+					}
+				}
+			})
+		}
+	}
+	return pt
+}

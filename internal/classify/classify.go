@@ -1,0 +1,493 @@
+// Package classify implements section 4.2 of the paper: computing the read,
+// write and reduction footprints of a loop (Algorithm 2, getFootprint) and
+// partitioning the loop's memory footprint into the five logical heaps —
+// short-lived, reduction, unrestricted, private and read-only (Algorithm 1,
+// classify). The result is a heap assignment, the compiler artifact that the
+// privatizing transformation and the runtime system share.
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+)
+
+// Footprint is the result of Algorithm 2 for one loop or one instruction:
+// the sets of memory objects read, written, and updated by syntactic
+// reduction sequences.
+type Footprint struct {
+	// Read holds objects read by non-reduction loads.
+	Read profiling.ObjectSet
+	// Write holds objects written by non-reduction stores.
+	Write profiling.ObjectSet
+	// Redux holds objects accessed only via load-op-store sequences with a
+	// single associative, commutative operator.
+	Redux profiling.ObjectSet
+	// ReduxOps records the reduction operator per object (for heap
+	// initialization and merging at run time).
+	ReduxOps map[profiling.Object]ir.ReduxKind
+}
+
+func newFootprint() *Footprint {
+	return &Footprint{
+		Read:     profiling.ObjectSet{},
+		Write:    profiling.ObjectSet{},
+		Redux:    profiling.ObjectSet{},
+		ReduxOps: map[profiling.Object]ir.ReduxKind{},
+	}
+}
+
+// Assignment is a heap assignment: the five-way partition of a loop's
+// memory footprint (Figure 4 of the paper), plus the supporting facts the
+// transformation needs.
+type Assignment struct {
+	// Loop is the classified loop.
+	Loop *ir.Loop
+	// ShortLived, Redux, Unrestricted, Private and ReadOnly partition the
+	// footprint.
+	ShortLived   profiling.ObjectSet
+	Redux        profiling.ObjectSet
+	Unrestricted profiling.ObjectSet
+	Private      profiling.ObjectSet
+	ReadOnly     profiling.ObjectSet
+	// ReduxOps gives the operator for each reduction object.
+	ReduxOps map[profiling.Object]ir.ReduxKind
+	// ReduxSizes gives the element size (bytes) of each reduction object's
+	// updates, for identity initialization.
+	ReduxSizes map[profiling.Object]int64
+	// PredictableLoads lists loads whose every *carried* occurrence read
+	// one stable value from one fixed global location during profiling;
+	// value-prediction speculation removes those dependences (dijkstra's
+	// empty-queue pattern). The value maps the load to its prediction.
+	PredictableLoads map[*ir.Instr]uint64
+	// Predictions lists the distinct predicted locations; the
+	// transformation validates and re-establishes each at the start of
+	// every iteration (the paper's end-of-iteration queue-empty checks).
+	Predictions []PredictedLocation
+	// Footprint is the loop's full footprint from Algorithm 2.
+	Footprint *Footprint
+}
+
+// HeapOf returns the heap kind assigned to object o, or HeapSystem if o is
+// outside the loop's footprint.
+func (a *Assignment) HeapOf(o profiling.Object) ir.HeapKind {
+	switch {
+	case a.ShortLived[o]:
+		return ir.HeapShortLived
+	case a.Redux[o]:
+		return ir.HeapRedux
+	case a.Unrestricted[o]:
+		return ir.HeapUnrestricted
+	case a.Private[o]:
+		return ir.HeapPrivate
+	case a.ReadOnly[o]:
+		return ir.HeapReadOnly
+	default:
+		return ir.HeapSystem
+	}
+}
+
+// Objects returns every object in the assignment with its heap, sorted by
+// name for deterministic reports.
+func (a *Assignment) Objects() []ObjectHeap {
+	var all []ObjectHeap
+	add := func(s profiling.ObjectSet, h ir.HeapKind) {
+		for o := range s {
+			all = append(all, ObjectHeap{Object: o, Heap: h})
+		}
+	}
+	add(a.ShortLived, ir.HeapShortLived)
+	add(a.Redux, ir.HeapRedux)
+	add(a.Unrestricted, ir.HeapUnrestricted)
+	add(a.Private, ir.HeapPrivate)
+	add(a.ReadOnly, ir.HeapReadOnly)
+	sort.Slice(all, func(i, j int) bool { return all[i].Object.String() < all[j].Object.String() })
+	return all
+}
+
+// ObjectHeap pairs an object with its assigned heap.
+type ObjectHeap struct {
+	Object profiling.Object
+	Heap   ir.HeapKind
+}
+
+// PredictedLocation is a fixed global location whose value at iteration
+// boundaries is speculated constant.
+type PredictedLocation struct {
+	// Global holds the location.
+	Global *ir.Global
+	// Offset is the byte offset within the global.
+	Offset uint64
+	// Size is the access width.
+	Size int64
+	// Value is the predicted constant.
+	Value uint64
+	// Typ is the type predicted loads produced (Ptr or I64).
+	Typ ir.Type
+}
+
+// String renders the assignment like the paper's Figure 4.
+func (a *Assignment) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "heap assignment for %s:\n", a.Loop)
+	row := func(name string, s profiling.ObjectSet) {
+		fmt.Fprintf(&sb, "  %-12s {%s}\n", name+":", strings.Join(s.Names(), ", "))
+	}
+	row("short-lived", a.ShortLived)
+	row("redux", a.Redux)
+	row("unrestricted", a.Unrestricted)
+	row("private", a.Private)
+	row("read-only", a.ReadOnly)
+	return sb.String()
+}
+
+// reduxPattern reports whether load in participates in a reduction sequence:
+// there is a store to the same address value whose stored operand is a
+// single associative-commutative operation over the loaded value, e.g.
+// v = load p; v' = v + x; store v', p. It returns the operator kind and the
+// access size.
+func reduxPattern(load *ir.Instr) (ir.ReduxKind, int64, bool) {
+	if load.Op != ir.OpLoad {
+		return ir.ReduxNone, 0, false
+	}
+	addr := load.Args[0]
+	// Find a store to the same address value in the same function.
+	var found ir.ReduxKind
+	var size int64
+	load.Blk.Fn.Instrs(func(in *ir.Instr) {
+		if in.Op != ir.OpStore || in.Args[1] != addr || found != ir.ReduxNone {
+			return
+		}
+		op, isInstr := in.Args[0].(*ir.Instr)
+		if !isInstr {
+			return
+		}
+		kind := reduxOpKind(op)
+		if kind == ir.ReduxNone {
+			return
+		}
+		// One operand of the update must be the loaded value.
+		usesLoad := false
+		for _, a := range op.Args {
+			if a == ir.Value(load) {
+				usesLoad = true
+			}
+		}
+		if usesLoad {
+			found = kind
+			size = in.Size
+		}
+	})
+	return found, size, found != ir.ReduxNone
+}
+
+// reduxOpKind maps an instruction to the reduction operator it implements,
+// if associative and commutative.
+func reduxOpKind(in *ir.Instr) ir.ReduxKind {
+	switch in.Op {
+	case ir.OpAdd:
+		return ir.ReduxAddI64
+	case ir.OpFAdd:
+		return ir.ReduxAddF64
+	case ir.OpSelect:
+		// min/max idiom: select(a < b, a, b) over a load.
+		cond, isInstr := in.Args[0].(*ir.Instr)
+		if !isInstr {
+			return ir.ReduxNone
+		}
+		switch cond.Op {
+		case ir.OpSLt, ir.OpSLe:
+			return ir.ReduxMinI64
+		case ir.OpSGt, ir.OpSGe:
+			return ir.ReduxMaxI64
+		case ir.OpFLt, ir.OpFLe:
+			return ir.ReduxMinF64
+		case ir.OpFGt, ir.OpFGe:
+			return ir.ReduxMaxF64
+		}
+	}
+	return ir.ReduxNone
+}
+
+// GetFootprint implements Algorithm 2 for the instruction sequence of loop l,
+// recurring into direct callees. The pointer-to-object profile resolves each
+// access to the objects it touched.
+func GetFootprint(l *ir.Loop, prof *profiling.Profile) *Footprint {
+	fp := newFootprint()
+	seen := map[*ir.Function]bool{}
+	var scan func(instrs []*ir.Instr)
+	scanFunc := func(f *ir.Function) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, b := range f.Blocks {
+			scan(b.Instrs)
+		}
+	}
+	scan = func(instrs []*ir.Instr) {
+		for _, in := range instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				objs := prof.MapPointerToObjects(in)
+				if kind, size, isRedux := reduxPattern(in); isRedux {
+					for o := range objs {
+						fp.Redux.Add(o)
+						fp.ReduxOps[o] = kind
+						_ = size
+					}
+				} else {
+					fp.Read.Union(objs)
+				}
+			case ir.OpStore:
+				objs := prof.MapPointerToObjects(in)
+				if isReduxStore(in) {
+					for o := range objs {
+						fp.Redux.Add(o)
+					}
+				} else {
+					fp.Write.Union(objs)
+				}
+			case ir.OpMemCopy:
+				// Reads src, writes dst; the profile records both under
+				// the one instruction, so include it in both sets.
+				fp.Read.Union(prof.MapPointerToObjects(in))
+				fp.Write.Union(prof.MapPointerToObjects(in))
+			case ir.OpMemSet:
+				fp.Write.Union(prof.MapPointerToObjects(in))
+			case ir.OpCall:
+				scanFunc(in.Callee)
+			}
+		}
+	}
+	for _, b := range l.Blocks {
+		scan(b.Instrs)
+	}
+	return fp
+}
+
+// isReduxStore reports whether in is the store side of a reduction sequence.
+func isReduxStore(st *ir.Instr) bool {
+	op, isInstr := st.Args[0].(*ir.Instr)
+	if !isInstr {
+		return false
+	}
+	kind := reduxOpKind(op)
+	if kind == ir.ReduxNone {
+		return false
+	}
+	// One operand of the update must be a load from the same address.
+	for _, a := range op.Args {
+		if ld, isLoad := a.(*ir.Instr); isLoad && ld.Op == ir.OpLoad && ld.Args[0] == st.Args[1] {
+			return true
+		}
+		// min/max via select: operands are (cond, a, b) where one of a/b
+		// loads from the address.
+		if op.Op == ir.OpSelect {
+			if ld, isLoad := a.(*ir.Instr); isLoad && ld.Op == ir.OpLoad && ld.Args[0] == st.Args[1] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// instrFootprint computes the footprint of a single instruction (the
+// getFootprint(a) calls inside Algorithm 1), recurring into callees.
+func instrFootprint(in *ir.Instr, prof *profiling.Profile) *Footprint {
+	fp := newFootprint()
+	switch in.Op {
+	case ir.OpLoad:
+		objs := prof.MapPointerToObjects(in)
+		if _, _, isRedux := reduxPattern(in); isRedux {
+			fp.Redux.Union(objs)
+		} else {
+			fp.Read.Union(objs)
+		}
+	case ir.OpStore:
+		objs := prof.MapPointerToObjects(in)
+		if isReduxStore(in) {
+			fp.Redux.Union(objs)
+		} else {
+			fp.Write.Union(objs)
+		}
+	case ir.OpMemCopy:
+		fp.Read.Union(prof.MapPointerToObjects(in))
+		fp.Write.Union(prof.MapPointerToObjects(in))
+	case ir.OpMemSet:
+		fp.Write.Union(prof.MapPointerToObjects(in))
+	case ir.OpCall:
+		seen := map[*ir.Function]bool{}
+		var scanFunc func(f *ir.Function)
+		scanFunc = func(f *ir.Function) {
+			if seen[f] {
+				return
+			}
+			seen[f] = true
+			f.Instrs(func(cin *ir.Instr) {
+				if cin.Op == ir.OpCall {
+					scanFunc(cin.Callee)
+					return
+				}
+				sub := instrFootprint(cin, prof)
+				fp.Read.Union(sub.Read)
+				fp.Write.Union(sub.Write)
+				fp.Redux.Union(sub.Redux)
+			})
+		}
+		scanFunc(in.Callee)
+	}
+	return fp
+}
+
+// Options tunes classification, for ablation studies.
+type Options struct {
+	// DisableValuePrediction turns off the value-prediction refinement:
+	// carried dependences through stably-constant locations force their
+	// objects into the unrestricted heap instead.
+	DisableValuePrediction bool
+}
+
+// Classify implements Algorithm 1: it partitions loop l's footprint into the
+// five heaps using the profile's lifetime, dependence and value information.
+func Classify(l *ir.Loop, prof *profiling.Profile) *Assignment {
+	return ClassifyOpts(l, prof, Options{})
+}
+
+// ClassifyOpts is Classify with explicit options.
+func ClassifyOpts(l *ir.Loop, prof *profiling.Profile, opts Options) *Assignment {
+	a := &Assignment{
+		Loop:             l,
+		ShortLived:       profiling.ObjectSet{},
+		Redux:            profiling.ObjectSet{},
+		Unrestricted:     profiling.ObjectSet{},
+		Private:          profiling.ObjectSet{},
+		ReadOnly:         profiling.ObjectSet{},
+		ReduxOps:         map[profiling.Object]ir.ReduxKind{},
+		ReduxSizes:       map[profiling.Object]int64{},
+		PredictableLoads: map[*ir.Instr]uint64{},
+	}
+	fp := GetFootprint(l, prof)
+	a.Footprint = fp
+
+	// foreach object in Write ∪ Read: short-lived per the lifetime profile.
+	for o := range union(fp.Write, fp.Read, fp.Redux) {
+		if prof.IsShortLived(o, l) {
+			a.ShortLived.Add(o)
+		}
+	}
+	// foreach object in ReduxFootprint: reduction candidates must not be
+	// read or written by non-reduction accesses elsewhere in the loop.
+	for o := range fp.Redux {
+		if a.ShortLived[o] {
+			continue
+		}
+		if !fp.Read[o] && !fp.Write[o] {
+			a.Redux.Add(o)
+			a.ReduxOps[o] = fp.ReduxOps[o]
+		}
+	}
+
+	// Value-predictable loads: carried flow dependences whose destination
+	// load always read the same value from the same fixed global location
+	// can be removed by value-prediction speculation instead of forcing
+	// objects into the unrestricted heap.
+	predictable := map[*ir.Instr]bool{}
+	seenLoc := map[PredictedLocation]bool{}
+	for _, d := range prof.CarriedFlow[l] {
+		if opts.DisableValuePrediction {
+			break
+		}
+		cr := prof.CarriedReads[l][d.Dst]
+		if cr == nil || !cr.Stable || cr.Object.Global == nil {
+			continue
+		}
+		// Reduction and short-lived objects already absorb their carried
+		// dependences, and their worker-local values legitimately differ
+		// from the sequential ones (identity-initialized accumulators,
+		// per-iteration instances) — predicting them would misspeculate
+		// on every iteration.
+		if a.Redux[cr.Object] || a.ShortLived[cr.Object] {
+			continue
+		}
+		predictable[d.Dst] = true
+		a.PredictableLoads[d.Dst] = cr.Value
+		loc := PredictedLocation{
+			Global: cr.Object.Global, Offset: cr.Offset, Size: cr.Size,
+			Value: cr.Value, Typ: d.Dst.Type(),
+		}
+		if !seenLoc[loc] {
+			seenLoc[loc] = true
+			a.Predictions = append(a.Predictions, loc)
+		}
+	}
+	sort.Slice(a.Predictions, func(i, j int) bool {
+		pi, pj := a.Predictions[i], a.Predictions[j]
+		if pi.Global != pj.Global {
+			return pi.Global.Name < pj.Global.Name
+		}
+		return pi.Offset < pj.Offset
+	})
+
+	// Cross-iteration memory flow dependences put their objects in the
+	// unrestricted heap, unless already short-lived or reduction, or
+	// removable by value prediction.
+	for _, d := range prof.CarriedFlow[l] {
+		if predictable[d.Dst] {
+			continue
+		}
+		src := instrFootprint(d.Src, prof)
+		dst := instrFootprint(d.Dst, prof)
+		// F = (Wa ∪ Xa) ∩ (Rb ∪ Xb)
+		for o := range union(src.Write, src.Redux) {
+			if dst.Read[o] || dst.Redux[o] {
+				if !a.ShortLived[o] && !a.Redux[o] {
+					a.Unrestricted.Add(o)
+				}
+			}
+		}
+	}
+
+	// Private = Write \ ShortLived \ Unrestricted \ Redux.
+	for o := range fp.Write {
+		if !a.ShortLived[o] && !a.Unrestricted[o] && !a.Redux[o] {
+			a.Private.Add(o)
+		}
+	}
+	// ReadOnly = Read \ everything else.
+	for o := range fp.Read {
+		if !a.ShortLived[o] && !a.Unrestricted[o] && !a.Redux[o] && !a.Private[o] {
+			a.ReadOnly.Add(o)
+		}
+	}
+
+	// Record reduction element sizes from the update instructions.
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad {
+				if kind, size, isRedux := reduxPattern(in); isRedux {
+					for o := range prof.MapPointerToObjects(in) {
+						if a.Redux[o] {
+							a.ReduxSizes[o] = size
+							if a.ReduxOps[o] == ir.ReduxNone {
+								a.ReduxOps[o] = kind
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+func union(sets ...profiling.ObjectSet) profiling.ObjectSet {
+	u := profiling.ObjectSet{}
+	for _, s := range sets {
+		u.Union(s)
+	}
+	return u
+}

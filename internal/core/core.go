@@ -1,0 +1,255 @@
+// Package core is the public face of the Privateer reproduction: the fully
+// automatic pipeline of section 4 (profile, classify, select, transform)
+// plus entry points for running the result under the speculative runtime,
+// under the non-speculative DOALL-only baseline, and sequentially.
+//
+//	mod := buildProgram()                        // IR via the builder
+//	par, _ := core.Parallelize(mod, core.Options{TrainArgs: ...})
+//	rt, _ := core.Run(par, specrt.Config{Workers: 24})
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privateer/internal/analysis"
+	"privateer/internal/classify"
+	"privateer/internal/deps"
+	"privateer/internal/doall"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+	"privateer/internal/specrt"
+	"privateer/internal/transform"
+	"privateer/internal/vm"
+)
+
+// Options controls the compiler pipeline.
+type Options struct {
+	// TrainArgs are the entry arguments for the profiling run (the train
+	// input).
+	TrainArgs []uint64
+	// MaxLoops bounds how many loops are selected (0 = no bound).
+	MaxLoops int
+	// MinLoopSteps filters loops whose profiled execution time share is
+	// negligible (absolute step count; 0 selects a small default).
+	MinLoopSteps int64
+	// DisableValuePrediction and DisableElision are ablation knobs (see
+	// classify.Options and transform.Options).
+	DisableValuePrediction bool
+	DisableElision         bool
+}
+
+// LoopReport records the pipeline's decision about one hot loop.
+type LoopReport struct {
+	// Loop names the loop.
+	Loop string
+	// Steps is the loop's profiled execution-time share.
+	Steps int64
+	// Selected is true if the loop was privatized and parallelized.
+	Selected bool
+	// Reason explains rejection (empty when selected).
+	Reason string
+	// Assignment is the heap assignment (selected loops only).
+	Assignment *classify.Assignment
+}
+
+// Parallelized is the output of the compiler pipeline: a transformed module
+// plus the artifacts the runtime needs.
+type Parallelized struct {
+	// Mod is the transformed module.
+	Mod *ir.Module
+	// Regions holds one entry per selected loop.
+	Regions []*specrt.RegionInfo
+	// Profile is the training profile.
+	Profile *profiling.Profile
+	// Reports explains every hot-loop decision, hottest first.
+	Reports []LoopReport
+}
+
+// Parallelize runs the fully automatic pipeline on mod, mutating it in
+// place. The module must verify and should be in SSA form (PromoteAllocas).
+func Parallelize(mod *ir.Module, opts Options) (*Parallelized, error) {
+	if err := ir.Verify(mod); err != nil {
+		return nil, fmt.Errorf("core: input module invalid: %w", err)
+	}
+	prof, err := profiling.Run(mod, opts.TrainArgs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling failed: %w", err)
+	}
+	pt := analysis.ComputePointsTo(mod)
+
+	// A loop is "hot" when it holds at least ~1% of the profiled execution
+	// time (and a small absolute floor keeps toy modules sensible).
+	minSteps := opts.MinLoopSteps
+	if minSteps == 0 {
+		minSteps = prof.Steps / 100
+		if minSteps < 100 {
+			minSteps = 100
+		}
+	}
+
+	out := &Parallelized{Mod: mod, Profile: prof}
+	// Heap assignments must be compatible across selected loops: one
+	// object cannot live in two heaps.
+	committed := map[profiling.Object]ir.HeapKind{}
+	selectedLoops := []*ir.Loop{}
+
+	for _, li := range prof.HotLoops() {
+		l := li.Loop
+		rep := LoopReport{Loop: l.String(), Steps: li.Steps}
+		switch {
+		case li.Steps < minSteps:
+			rep.Reason = "cold"
+		case conflictsWithSelected(l, selectedLoops):
+			rep.Reason = "may be simultaneously active with a selected loop"
+		default:
+			a := classify.ClassifyOpts(l, prof, classify.Options{
+				DisableValuePrediction: opts.DisableValuePrediction,
+			})
+			plan := deps.SpeculativeBlockers(l, prof, a)
+			if len(plan.Blockers) > 0 {
+				rep.Reason = plan.Blockers[0].String()
+				break
+			}
+			if conflict := heapConflict(a, committed); conflict != "" {
+				rep.Reason = conflict
+				break
+			}
+			res, err := transform.ApplyOpts(mod, l, prof, a, plan, pt,
+				transform.Options{DisableElision: opts.DisableElision})
+			if err != nil {
+				rep.Reason = err.Error()
+				break
+			}
+			iv := ir.FindInductionVar(l)
+			if iv == nil {
+				rep.Reason = "no canonical induction variable"
+				break
+			}
+			outline, err := doall.Outline(mod, l, iv)
+			if err != nil {
+				rep.Reason = err.Error()
+				break
+			}
+			rep.Selected = true
+			rep.Assignment = a
+			selectedLoops = append(selectedLoops, l)
+			for _, oh := range a.Objects() {
+				committed[oh.Object] = oh.Heap
+			}
+			out.Regions = append(out.Regions, &specrt.RegionInfo{
+				Outline: outline,
+				Assign:  a,
+				Plan:    plan,
+				TStats:  res.Stats,
+			})
+		}
+		out.Reports = append(out.Reports, rep)
+		if opts.MaxLoops > 0 && len(out.Regions) >= opts.MaxLoops {
+			break
+		}
+	}
+	if err := ir.Verify(mod); err != nil {
+		return nil, fmt.Errorf("core: transformed module invalid: %w", err)
+	}
+	return out, nil
+}
+
+// conflictsWithSelected applies section 4.3's nesting constraint: two loops
+// that may be simultaneously active are incompatible. Loops conflict when
+// one contains the other, or when one can call the function holding the
+// other.
+func conflictsWithSelected(l *ir.Loop, selected []*ir.Loop) bool {
+	for _, s := range selected {
+		// Containment is checked by block identity, which stays valid even
+		// after a selected loop's blocks were outlined into __iter.
+		if s.Contains(l.Header) || l.Contains(s.Header) {
+			return true
+		}
+		if l.Header.Fn != s.Header.Fn &&
+			(loopCanReachFunc(s, l.Header.Fn) || loopCanReachFunc(l, s.Header.Fn)) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopCanReachFunc reports whether code inside l can call into target.
+func loopCanReachFunc(l *ir.Loop, target *ir.Function) bool {
+	seen := map[*ir.Function]bool{}
+	var scan func(f *ir.Function) bool
+	scan = func(f *ir.Function) bool {
+		if f == target {
+			return true
+		}
+		if seen[f] {
+			return false
+		}
+		seen[f] = true
+		found := false
+		f.Instrs(func(in *ir.Instr) {
+			if !found && in.Op == ir.OpCall && scan(in.Callee) {
+				found = true
+			}
+		})
+		return found
+	}
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && scan(in.Callee) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// heapConflict reports whether assignment a disagrees with heaps already
+// committed by previously selected loops.
+func heapConflict(a *classify.Assignment, committed map[profiling.Object]ir.HeapKind) string {
+	for _, oh := range a.Objects() {
+		if prev, ok := committed[oh.Object]; ok && prev != oh.Heap {
+			return fmt.Sprintf("object %s assigned to both %s and %s heaps",
+				oh.Object, prev, oh.Heap)
+		}
+	}
+	return ""
+}
+
+// Run executes the parallelized program under the speculative runtime.
+func Run(p *Parallelized, cfg specrt.Config, args ...uint64) (*specrt.RT, uint64, error) {
+	rt := specrt.New(p.Mod, cfg, p.Regions...)
+	ret, err := rt.Run(args...)
+	return rt, ret, err
+}
+
+// RunSequential executes a module sequentially and returns the result and
+// its printed output. For a fair "best sequential" baseline, pass a freshly
+// built, untransformed module.
+func RunSequential(mod *ir.Module, args ...uint64) (uint64, string, error) {
+	it := interp.New(mod, vm.NewAddressSpace())
+	ret, err := it.Run(args...)
+	return ret, it.Out.String(), err
+}
+
+// Summary renders the pipeline decisions for reports and tools.
+func (p *Parallelized) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s: %d region(s) parallelized\n", p.Mod.Name, len(p.Regions))
+	reps := append([]LoopReport(nil), p.Reports...)
+	sort.SliceStable(reps, func(i, j int) bool { return reps[i].Steps > reps[j].Steps })
+	for _, r := range reps {
+		status := "selected"
+		if !r.Selected {
+			status = "rejected: " + r.Reason
+		}
+		fmt.Fprintf(&sb, "  loop %-28s steps=%-10d %s\n", r.Loop, r.Steps, status)
+	}
+	for _, ri := range p.Regions {
+		fmt.Fprintf(&sb, "\n%s", ri.Assign)
+		fmt.Fprintf(&sb, "  extras: %s\n", ri.TStats.Extras(ri.Plan))
+	}
+	return sb.String()
+}

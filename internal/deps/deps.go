@@ -1,0 +1,339 @@
+// Package deps builds the optimistic program-dependence view that drives
+// loop selection (section 4.3 of the paper). Two analyses share one
+// vocabulary of Blockers:
+//
+//   - StaticBlockers judges a loop the way the non-speculative DOALL-only
+//     baseline does: conservative points-to facts plus affine
+//     disambiguation, no profile, no speculation.
+//   - SpeculativeBlockers judges a loop after Privateer's refinement rules:
+//     separated heaps cannot conflict; private, short-lived and reduction
+//     footprints carry no loop-carried dependences; stable loads are
+//     removed by value prediction; unexecuted blocks are removed by control
+//     speculation; output operations are deferred.
+package deps
+
+import (
+	"fmt"
+
+	"privateer/internal/analysis"
+	"privateer/internal/classify"
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+)
+
+// BlockerKind classifies why a loop cannot be DOALL-parallelized.
+type BlockerKind uint8
+
+const (
+	// BlockerNoIV: the loop has no canonical induction variable.
+	BlockerNoIV BlockerKind = iota
+	// BlockerScalarCarried: a header phi other than the IV carries a value
+	// between iterations.
+	BlockerScalarCarried
+	// BlockerLiveOut: a value computed in the loop is used after it.
+	BlockerLiveOut
+	// BlockerMemory: a (possible) loop-carried memory dependence.
+	BlockerMemory
+	// BlockerIO: an output operation whose order must be preserved.
+	BlockerIO
+	// BlockerUnrestrictedHeap: an access touches an object assigned to the
+	// unrestricted heap.
+	BlockerUnrestrictedHeap
+)
+
+func (k BlockerKind) String() string {
+	switch k {
+	case BlockerNoIV:
+		return "no canonical induction variable"
+	case BlockerScalarCarried:
+		return "loop-carried scalar"
+	case BlockerLiveOut:
+		return "live-out value"
+	case BlockerMemory:
+		return "loop-carried memory dependence"
+	case BlockerIO:
+		return "ordered output operation"
+	case BlockerUnrestrictedHeap:
+		return "unrestricted-heap access"
+	}
+	return fmt.Sprintf("blocker(%d)", uint8(k))
+}
+
+// Blocker is one reason a loop resists DOALL parallelization.
+type Blocker struct {
+	// Kind classifies the blocker.
+	Kind BlockerKind
+	// Src and Dst are the implicated instructions (Dst may be nil).
+	Src, Dst *ir.Instr
+	// Note carries extra diagnostics.
+	Note string
+}
+
+func (b Blocker) String() string {
+	s := b.Kind.String()
+	if b.Src != nil {
+		s += ": " + b.Src.Format()
+	}
+	if b.Dst != nil {
+		s += " <-> " + b.Dst.Format()
+	}
+	if b.Note != "" {
+		s += " (" + b.Note + ")"
+	}
+	return s
+}
+
+// memOps collects the memory-touching instructions of l's body and of every
+// function transitively callable from it. The bool result per instruction
+// reports whether it executes in the loop's own function (where affine
+// reasoning against the loop IV applies).
+func memOps(l *ir.Loop) (own []*ir.Instr, callee []*ir.Instr, prints []*ir.Instr) {
+	seen := map[*ir.Function]bool{}
+	var scanFunc func(f *ir.Function)
+	scanFunc = func(f *ir.Function) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		f.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore, ir.OpMemSet, ir.OpMemCopy:
+				callee = append(callee, in)
+			case ir.OpPrint:
+				prints = append(prints, in)
+			case ir.OpCall:
+				scanFunc(in.Callee)
+			}
+		})
+	}
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore, ir.OpMemSet, ir.OpMemCopy:
+				own = append(own, in)
+			case ir.OpPrint:
+				prints = append(prints, in)
+			case ir.OpCall:
+				scanFunc(in.Callee)
+			}
+		}
+	}
+	return own, callee, prints
+}
+
+// writesMem reports whether in writes memory; reads likewise.
+func writesMem(in *ir.Instr) bool { return in.Op.Writes() }
+
+// addrOf returns the address operand of a memory op.
+func addrOf(in *ir.Instr) ir.Value {
+	switch in.Op {
+	case ir.OpLoad, ir.OpMemSet:
+		return in.Args[0]
+	case ir.OpStore:
+		return in.Args[1]
+	case ir.OpMemCopy:
+		return in.Args[0] // destination; source handled separately
+	}
+	return nil
+}
+
+// sizeOf returns a conservative footprint width for affine reasoning.
+func sizeOf(in *ir.Instr) int64 {
+	if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+		return in.Size
+	}
+	return 1 << 30 // memset/memcopy widths are dynamic: assume huge
+}
+
+// scalarBlockers finds non-IV header phis and live-outs, shared by both
+// analyses.
+func scalarBlockers(l *ir.Loop, iv *ir.InductionVar) []Blocker {
+	var out []Blocker
+	for _, in := range l.Header.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		if iv != nil && in == iv.Phi {
+			continue
+		}
+		out = append(out, Blocker{Kind: BlockerScalarCarried, Src: in})
+	}
+	// Live-outs: instructions in the loop used by instructions outside it.
+	inLoop := map[*ir.Instr]bool{}
+	for _, b := range l.Blocks {
+		for _, in := range b.Instrs {
+			inLoop[in] = true
+		}
+	}
+	f := l.Header.Fn
+	f.Instrs(func(user *ir.Instr) {
+		if inLoop[user] {
+			return
+		}
+		for _, a := range user.Args {
+			def, isInstr := a.(*ir.Instr)
+			if !isInstr || !inLoop[def] {
+				continue
+			}
+			if iv != nil && def == iv.Phi {
+				continue // the IV's final value is computable
+			}
+			out = append(out, Blocker{Kind: BlockerLiveOut, Src: def, Dst: user})
+		}
+	})
+	return out
+}
+
+// StaticBlockers returns every obstacle the non-speculative baseline sees in
+// loop l, given whole-module points-to facts. An empty result means the
+// DOALL-only compiler may parallelize l.
+func StaticBlockers(l *ir.Loop, pt *analysis.PointsTo) []Blocker {
+	var out []Blocker
+	iv := ir.FindInductionVar(l)
+	if iv == nil {
+		out = append(out, Blocker{Kind: BlockerNoIV})
+	}
+	out = append(out, scalarBlockers(l, iv)...)
+
+	own, callee, prints := memOps(l)
+	for _, p := range prints {
+		out = append(out, Blocker{Kind: BlockerIO, Src: p})
+	}
+
+	affine := map[*ir.Instr]analysis.Affine{}
+	if iv != nil {
+		for _, in := range own {
+			if a, ok := analysis.DecomposeAffine(l, iv, addrOf(in)); ok {
+				affine[in] = a
+			}
+		}
+	}
+	all := append(append([]*ir.Instr(nil), own...), callee...)
+	fnOf := func(in *ir.Instr) *ir.Function { return in.Blk.Fn }
+	for i, a := range all {
+		for _, b := range all[i:] {
+			if !writesMem(a) && !writesMem(b) {
+				continue
+			}
+			// Affine disambiguation only applies to accesses in the
+			// loop's own function.
+			fa, okA := affine[a]
+			fb, okB := affine[b]
+			if okA && okB && analysis.NoCarriedOverlap(fa, fb, sizeOf(a), sizeOf(b)) {
+				continue
+			}
+			// Points-to disjointness.
+			if !pt.MayAlias(fnOf(a), addrOf(a), fnOf(b), addrOf(b)) {
+				continue
+			}
+			out = append(out, Blocker{Kind: BlockerMemory, Src: a, Dst: b})
+		}
+	}
+	return out
+}
+
+// Plan is the result of the speculative judgment: remaining blockers plus
+// the extra speculation kinds the transformation must apply (the "Extras"
+// column of Table 3).
+type Plan struct {
+	// Blockers lists obstacles that survive every refinement; the loop is
+	// speculatively DOALL-able iff it is empty.
+	Blockers []Blocker
+	// NeedsValuePrediction is true when stable loads must be guarded.
+	NeedsValuePrediction bool
+	// NeedsControlSpec is true when unprofiled blocks must be fenced with
+	// misspeculation guards.
+	NeedsControlSpec bool
+	// NeedsIODeferral is true when output operations must be buffered and
+	// committed in order.
+	NeedsIODeferral bool
+	// ColdBlocks lists the blocks to fence when NeedsControlSpec.
+	ColdBlocks []*ir.Block
+}
+
+// SpeculativeBlockers judges loop l after privatization: the heap
+// assignment's refinement rules remove the dependences that the private,
+// short-lived, reduction and read-only heaps absorb.
+func SpeculativeBlockers(l *ir.Loop, prof *profiling.Profile, a *classify.Assignment) *Plan {
+	plan := &Plan{}
+	iv := ir.FindInductionVar(l)
+	if iv == nil {
+		plan.Blockers = append(plan.Blockers, Blocker{Kind: BlockerNoIV})
+	}
+	plan.Blockers = append(plan.Blockers, scalarBlockers(l, iv)...)
+
+	own, callee, prints := memOps(l)
+	if len(prints) > 0 {
+		plan.NeedsIODeferral = true
+	}
+
+	cold := coldBlocks(l, prof)
+	if len(cold) > 0 {
+		plan.NeedsControlSpec = true
+		plan.ColdBlocks = cold
+	}
+	coldSet := map[*ir.Block]bool{}
+	for _, b := range cold {
+		coldSet[b] = true
+	}
+	if len(a.PredictableLoads) > 0 {
+		plan.NeedsValuePrediction = true
+	}
+
+	// Every executed access must land in a heap that absorbs loop-carried
+	// dependences (private/short-lived/redux), is immutable (read-only),
+	// or the loop is not parallelizable.
+	for _, in := range append(append([]*ir.Instr(nil), own...), callee...) {
+		if coldSet[in.Blk] {
+			continue // control speculation removes this path
+		}
+		for o := range prof.MapPointerToObjects(in) {
+			switch a.HeapOf(o) {
+			case ir.HeapUnrestricted:
+				plan.Blockers = append(plan.Blockers, Blocker{
+					Kind: BlockerUnrestrictedHeap, Src: in, Note: o.String()})
+			case ir.HeapSystem:
+				plan.Blockers = append(plan.Blockers, Blocker{
+					Kind: BlockerMemory, Src: in,
+					Note: "object " + o.String() + " outside the heap assignment"})
+			}
+		}
+	}
+	return plan
+}
+
+// coldBlocks returns blocks of l (and of functions it calls) that never
+// executed during profiling; control speculation fences them.
+func coldBlocks(l *ir.Loop, prof *profiling.Profile) []*ir.Block {
+	var cold []*ir.Block
+	seen := map[*ir.Function]bool{}
+	var scanFunc func(f *ir.Function)
+	consider := func(b *ir.Block) {
+		if prof.BlockRuns[b] == 0 {
+			cold = append(cold, b)
+		}
+	}
+	scanFunc = func(f *ir.Function) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for _, b := range f.Blocks {
+			consider(b)
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					scanFunc(in.Callee)
+				}
+			}
+		}
+	}
+	for _, b := range l.Blocks {
+		consider(b)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				scanFunc(in.Callee)
+			}
+		}
+	}
+	return cold
+}

@@ -1,0 +1,122 @@
+package doall
+
+import (
+	"testing"
+
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// TestOutlineCapturesLiveIns: values computed before the loop and used
+// inside must arrive as region/iter parameters.
+func TestOutlineCapturesLiveIns(t *testing.T) {
+	m := ir.NewModule("live")
+	out := m.NewGlobal("out", 64*8)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	scale := b.Mul(b.I(3), b.I(7)) // live-in scalar
+	base := b.Global(out)          // live-in pointer
+	b.For("i", b.I(0), b.I(64), func(iv *ir.Instr) {
+		slot := b.Add(base, b.Mul(b.Ld(iv), b.I(8)))
+		b.Store(b.Mul(b.Ld(iv), scale), slot, 8)
+	})
+	b.Ret(b.Load(b.Add(b.Global(out), b.I(63*8)), 8))
+	ir.PromoteAllocas(f)
+	l, iv := firstLoop(t, m)
+	r, err := Outline(m, l, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLiveIns < 2 {
+		t.Errorf("live-ins = %d, want >= 2 (scale + base)", r.NumLiveIns)
+	}
+	// Param counts: iter has 1+live, region has 2+live.
+	if got := len(r.IterFn.Params); got != 1+r.NumLiveIns {
+		t.Errorf("iter params = %d", got)
+	}
+	if got := len(r.RegionFn.Params); got != 2+r.NumLiveIns {
+		t.Errorf("region params = %d", got)
+	}
+	v, err := interp.New(m, vm.NewAddressSpace()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 63*21 {
+		t.Errorf("result %d, want %d", v, 63*21)
+	}
+}
+
+// TestOutlineReplacesIVUsesAfterLoop: the induction variable's final value
+// (the limit) substitutes for uses after the loop.
+func TestOutlineReplacesIVUsesAfterLoop(t *testing.T) {
+	m := ir.NewModule("ivout")
+	g := m.NewGlobal("g", 8)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	counter := b.Local("i")
+	b.St(b.I(0), counter)
+	header := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	limit := b.I(10)
+	b.Br(header)
+	b.SetBlock(header)
+	b.CondBr(b.SLt(b.Ld(counter), limit), body, exit)
+	b.SetBlock(body)
+	b.Store(b.Ld(counter), b.Global(g), 8)
+	b.St(b.Add(b.Ld(counter), b.I(1)), counter)
+	b.Br(header)
+	b.SetBlock(exit)
+	// Use the IV after the loop: must become the limit (10).
+	b.Ret(b.Ld(counter))
+	ir.PromoteAllocas(f)
+	l, iv := firstLoop(t, m)
+	if _, err := Outline(m, l, iv); err != nil {
+		t.Fatal(err)
+	}
+	v, err := interp.New(m, vm.NewAddressSpace()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Errorf("post-loop IV use = %d, want 10", v)
+	}
+}
+
+// TestOutlineRejectsLiveOut: a loop-computed non-IV value used after the
+// loop cannot be outlined.
+func TestOutlineRejectsLiveOut(t *testing.T) {
+	m := ir.NewModule("lo")
+	g := m.NewGlobal("g", 8)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	var last ir.Value
+	b.For("i", b.I(0), b.I(5), func(iv *ir.Instr) {
+		last = b.Mul(b.Ld(iv), b.I(2))
+		b.Store(last, b.Global(g), 8)
+	})
+	b.Ret(last) // live-out!
+	ir.PromoteAllocas(f)
+	l, iv := firstLoop(t, m)
+	if _, err := Outline(m, l, iv); err == nil {
+		t.Error("live-out accepted")
+	}
+}
+
+// TestRegionNamesAreUnique: outlines across modules never collide.
+func TestRegionNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < 3; k++ {
+		m := buildSquares(8)
+		l, iv := firstLoop(t, m)
+		r, err := Outline(m, l, iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[r.RegionFn.Name] {
+			t.Errorf("duplicate region name %s", r.RegionFn.Name)
+		}
+		seen[r.RegionFn.Name] = true
+	}
+}

@@ -1,0 +1,626 @@
+// Package interp executes Privateer IR over the simulated address space.
+//
+// It stands in for native execution of compiled code: every dynamic event
+// the paper's profilers and runtime observe (loads, stores, allocations,
+// block transfers, iteration boundaries, misspeculation checks) is surfaced
+// through the Hooks structure, so the pointer-to-object profiler, the
+// dependence profiler and the speculative runtime attach to the same program
+// without modifying it.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// MisspecError marks a speculation violation: the enclosing worker should
+// squash, not crash. It wraps the triggering check for diagnostics.
+type MisspecError struct {
+	// Instr is the check that fired (may be nil for injected misspeculation).
+	Instr *ir.Instr
+	// Reason describes the violated speculative property.
+	Reason string
+}
+
+func (e *MisspecError) Error() string {
+	if e.Instr != nil {
+		return fmt.Sprintf("misspeculation: %s (%s)", e.Reason, e.Instr.Format())
+	}
+	return "misspeculation: " + e.Reason
+}
+
+// IsMisspec reports whether err is (or wraps) a misspeculation.
+func IsMisspec(err error) bool {
+	var m *MisspecError
+	return errors.As(err, &m)
+}
+
+// Frame is one activation record.
+type Frame struct {
+	// Fn is the executing function.
+	Fn *ir.Function
+	// Depth is the call-stack depth (entry function = 0).
+	Depth int
+	// Caller is the parent frame, nil for the entry.
+	Caller *Frame
+
+	vals    []uint64
+	allocas []uint64
+}
+
+// Value returns the current dynamic value of v in this frame.
+func (fr *Frame) Value(v ir.Value) uint64 { return fr.vals[v.ValueID()] }
+
+// Hooks let profilers and the speculative runtime observe and intercept
+// execution. Any field may be nil. Check hooks return an error (typically a
+// *MisspecError) to abort the current Run.
+type Hooks struct {
+	// OnBlock fires on every control transfer between basic blocks.
+	OnBlock func(fr *Frame, from, to *ir.Block)
+	// OnEnter and OnExit bracket function activations.
+	OnEnter func(fr *Frame)
+	OnExit  func(fr *Frame)
+	// OnLoad and OnStore fire after a successful memory access.
+	OnLoad  func(fr *Frame, in *ir.Instr, addr uint64, size int64)
+	OnStore func(fr *Frame, in *ir.Instr, addr uint64, size int64)
+	// OnAlloc fires after malloc/alloca/h_alloc; OnFree before free/h_dealloc.
+	OnAlloc func(fr *Frame, in *ir.Instr, addr, size uint64)
+	OnFree  func(fr *Frame, in *ir.Instr, addr uint64)
+	// OnPrint intercepts formatted output; return true if handled
+	// (e.g. deferred into the speculative I/O queue).
+	OnPrint func(in *ir.Instr, text string) bool
+	// CallOverride intercepts direct calls; return handled=true to supply
+	// the result instead of interpreting the callee. The speculative
+	// runtime uses it to take over parallel-region functions.
+	CallOverride func(fr *Frame, in *ir.Instr, callee *ir.Function, args []uint64) (ret uint64, handled bool, err error)
+	// CheckHeap validates a separation check; default checks the tag.
+	CheckHeap func(in *ir.Instr, addr uint64) error
+	// PrivateRead and PrivateWrite validate privacy checks.
+	PrivateRead  func(in *ir.Instr, addr uint64, size int64) error
+	PrivateWrite func(in *ir.Instr, addr uint64, size int64) error
+	// ReduxWrite observes a reduction update.
+	ReduxWrite func(in *ir.Instr, addr uint64, size int64) error
+	// Predict validates a value prediction; default misspeculates on
+	// mismatch.
+	Predict func(in *ir.Instr, actual, expected uint64) error
+	// Misspec handles an unconditional misspeculation instruction.
+	Misspec func(in *ir.Instr) error
+}
+
+// Interp executes functions of one module against one address space.
+type Interp struct {
+	// Mod is the program.
+	Mod *ir.Module
+	// AS is the memory image.
+	AS *vm.AddressSpace
+	// Hooks observe execution; may be zero.
+	Hooks Hooks
+	// Out receives formatted output not claimed by Hooks.OnPrint.
+	Out *strings.Builder
+	// StepLimit aborts runaway programs; 0 means the default (2^40).
+	StepLimit int64
+	// Steps counts executed instructions.
+	Steps int64
+	// MaxDepth bounds recursion; 0 means the default (4096).
+	MaxDepth int
+
+	globalsLaidOut bool
+	globalAddrs    map[*ir.Global]uint64
+}
+
+// New returns an interpreter for mod over as.
+func New(mod *ir.Module, as *vm.AddressSpace) *Interp {
+	return &Interp{Mod: mod, AS: as, Out: &strings.Builder{}, globalAddrs: map[*ir.Global]uint64{}}
+}
+
+// LayOutGlobals allocates every module global into its assigned heap and
+// writes initial contents. It runs automatically before the first call; the
+// privatizing transformation's "initializer before main" is this step with
+// non-system heap assignments.
+func (it *Interp) LayOutGlobals() error {
+	if it.globalsLaidOut {
+		return nil
+	}
+	for _, name := range it.Mod.GlobalNames() {
+		g := it.Mod.Globals[name]
+		addr, err := it.AS.Alloc(g.Heap, uint64(g.Size))
+		if err != nil {
+			return fmt.Errorf("laying out global %s: %w", g.Name, err)
+		}
+		if len(g.Init) > 0 {
+			if err := it.AS.WriteBytes(addr, g.Init); err != nil {
+				return fmt.Errorf("initializing global %s: %w", g.Name, err)
+			}
+		}
+		it.globalAddrs[g] = addr
+	}
+	it.globalsLaidOut = true
+	return nil
+}
+
+// GlobalAddr returns the runtime address of g (after layout).
+func (it *Interp) GlobalAddr(g *ir.Global) uint64 { return it.globalAddrs[g] }
+
+// SetGlobalAddr overrides g's address; the speculative runtime uses this to
+// share one layout across worker interpreters.
+func (it *Interp) SetGlobalAddr(g *ir.Global, addr uint64) {
+	it.globalAddrs[g] = addr
+	it.globalsLaidOut = true
+}
+
+// GlobalLayout exports the full global->address table.
+func (it *Interp) GlobalLayout() map[*ir.Global]uint64 { return it.globalAddrs }
+
+// AdoptLayout installs a previously exported global layout.
+func (it *Interp) AdoptLayout(layout map[*ir.Global]uint64) {
+	for g, a := range layout {
+		it.globalAddrs[g] = a
+	}
+	it.globalsLaidOut = true
+}
+
+// Run executes the module entry function with the given arguments.
+func (it *Interp) Run(args ...uint64) (uint64, error) {
+	entry := it.Mod.Entry()
+	if entry == nil {
+		return 0, fmt.Errorf("interp: module %s has no entry %q", it.Mod.Name, it.Mod.EntryName)
+	}
+	return it.Call(entry, args...)
+}
+
+// Call executes fn with args and returns its result.
+func (it *Interp) Call(fn *ir.Function, args ...uint64) (uint64, error) {
+	if err := it.LayOutGlobals(); err != nil {
+		return 0, err
+	}
+	return it.call(fn, args, nil)
+}
+
+func (it *Interp) call(fn *ir.Function, args []uint64, caller *Frame) (uint64, error) {
+	maxDepth := it.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 4096
+	}
+	depth := 0
+	if caller != nil {
+		depth = caller.Depth + 1
+	}
+	if depth >= maxDepth {
+		return 0, fmt.Errorf("interp: call depth %d exceeded in %s", maxDepth, fn.Name)
+	}
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("interp: %s wants %d args, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	fr := &Frame{Fn: fn, Depth: depth, Caller: caller, vals: make([]uint64, fn.NumValues())}
+	for i, p := range fn.Params {
+		fr.vals[p.ValueID()] = args[i]
+	}
+	if it.Hooks.OnEnter != nil {
+		it.Hooks.OnEnter(fr)
+	}
+	ret, err := it.exec(fr)
+	// Release stack allocations regardless of how the activation ends.
+	for _, a := range fr.allocas {
+		if it.Hooks.OnFree != nil {
+			it.Hooks.OnFree(fr, nil, a)
+		}
+		if ferr := it.AS.Free(a); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if it.Hooks.OnExit != nil {
+		it.Hooks.OnExit(fr)
+	}
+	return ret, err
+}
+
+// stepLimit returns the effective step budget.
+func (it *Interp) stepLimit() int64 {
+	if it.StepLimit > 0 {
+		return it.StepLimit
+	}
+	return 1 << 40
+}
+
+func (it *Interp) exec(fr *Frame) (uint64, error) {
+	block := fr.Fn.Entry()
+	var prev *ir.Block
+	limit := it.stepLimit()
+	for {
+		// Evaluate phis as a parallel copy based on the incoming edge.
+		nPhis := 0
+		for _, in := range block.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			nPhis++
+		}
+		if nPhis > 0 {
+			var tmp [8]uint64
+			vals := tmp[:0]
+			for _, in := range block.Instrs[:nPhis] {
+				v, err := it.phiValue(fr, in, prev)
+				if err != nil {
+					return 0, err
+				}
+				vals = append(vals, v)
+			}
+			for i, in := range block.Instrs[:nPhis] {
+				fr.vals[in.ValueID()] = vals[i]
+			}
+		}
+		for _, in := range block.Instrs[nPhis:] {
+			it.Steps++
+			if it.Steps > limit {
+				return 0, fmt.Errorf("interp: step limit %d exceeded in %s", limit, fr.Fn.Name)
+			}
+			switch in.Op {
+			case ir.OpRet:
+				if len(in.Args) == 1 {
+					return fr.vals[in.Args[0].ValueID()], nil
+				}
+				return 0, nil
+			case ir.OpBr:
+				next := in.Targets[0]
+				if it.Hooks.OnBlock != nil {
+					it.Hooks.OnBlock(fr, block, next)
+				}
+				prev, block = block, next
+			case ir.OpCondBr:
+				next := in.Targets[1]
+				if fr.vals[in.Args[0].ValueID()] != 0 {
+					next = in.Targets[0]
+				}
+				if it.Hooks.OnBlock != nil {
+					it.Hooks.OnBlock(fr, block, next)
+				}
+				prev, block = block, next
+			default:
+				if err := it.execInstr(fr, in); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			break // control transferred
+		}
+	}
+}
+
+func (it *Interp) phiValue(fr *Frame, phi *ir.Instr, prev *ir.Block) (uint64, error) {
+	for i, p := range phi.Preds {
+		if p == prev {
+			return fr.vals[phi.Args[i].ValueID()], nil
+		}
+	}
+	return 0, fmt.Errorf("interp: phi %s in %s.%s has no incoming for predecessor %v",
+		phi, fr.Fn.Name, phi.Blk.Name, prev)
+}
+
+func f64(w uint64) float64  { return math.Float64frombits(w) }
+func bits(f float64) uint64 { return math.Float64bits(f) }
+func b2w(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (it *Interp) execInstr(fr *Frame, in *ir.Instr) error {
+	arg := func(i int) uint64 { return fr.vals[in.Args[i].ValueID()] }
+	set := func(v uint64) { fr.vals[in.ValueID()] = v }
+	switch in.Op {
+	case ir.OpConst, ir.OpFConst:
+		set(in.Const)
+	case ir.OpSIToFP:
+		set(bits(float64(int64(arg(0)))))
+	case ir.OpFPToSI:
+		set(uint64(int64(f64(arg(0)))))
+	case ir.OpAdd:
+		set(arg(0) + arg(1))
+	case ir.OpSub:
+		set(arg(0) - arg(1))
+	case ir.OpMul:
+		set(arg(0) * arg(1))
+	case ir.OpSDiv:
+		if arg(1) == 0 {
+			return fmt.Errorf("interp: division by zero (%s)", in.Format())
+		}
+		set(uint64(int64(arg(0)) / int64(arg(1))))
+	case ir.OpUDiv:
+		if arg(1) == 0 {
+			return fmt.Errorf("interp: division by zero (%s)", in.Format())
+		}
+		set(arg(0) / arg(1))
+	case ir.OpSRem:
+		if arg(1) == 0 {
+			return fmt.Errorf("interp: remainder by zero (%s)", in.Format())
+		}
+		set(uint64(int64(arg(0)) % int64(arg(1))))
+	case ir.OpURem:
+		if arg(1) == 0 {
+			return fmt.Errorf("interp: remainder by zero (%s)", in.Format())
+		}
+		set(arg(0) % arg(1))
+	case ir.OpAnd:
+		set(arg(0) & arg(1))
+	case ir.OpOr:
+		set(arg(0) | arg(1))
+	case ir.OpXor:
+		set(arg(0) ^ arg(1))
+	case ir.OpShl:
+		set(arg(0) << (arg(1) & 63))
+	case ir.OpLShr:
+		set(arg(0) >> (arg(1) & 63))
+	case ir.OpAShr:
+		set(uint64(int64(arg(0)) >> (arg(1) & 63)))
+	case ir.OpEq:
+		set(b2w(arg(0) == arg(1)))
+	case ir.OpNe:
+		set(b2w(arg(0) != arg(1)))
+	case ir.OpSLt:
+		set(b2w(int64(arg(0)) < int64(arg(1))))
+	case ir.OpSLe:
+		set(b2w(int64(arg(0)) <= int64(arg(1))))
+	case ir.OpSGt:
+		set(b2w(int64(arg(0)) > int64(arg(1))))
+	case ir.OpSGe:
+		set(b2w(int64(arg(0)) >= int64(arg(1))))
+	case ir.OpULt:
+		set(b2w(arg(0) < arg(1)))
+	case ir.OpUGe:
+		set(b2w(arg(0) >= arg(1)))
+	case ir.OpFAdd:
+		set(bits(f64(arg(0)) + f64(arg(1))))
+	case ir.OpFSub:
+		set(bits(f64(arg(0)) - f64(arg(1))))
+	case ir.OpFMul:
+		set(bits(f64(arg(0)) * f64(arg(1))))
+	case ir.OpFDiv:
+		set(bits(f64(arg(0)) / f64(arg(1))))
+	case ir.OpFEq:
+		set(b2w(f64(arg(0)) == f64(arg(1))))
+	case ir.OpFLt:
+		set(b2w(f64(arg(0)) < f64(arg(1))))
+	case ir.OpFLe:
+		set(b2w(f64(arg(0)) <= f64(arg(1))))
+	case ir.OpFGt:
+		set(b2w(f64(arg(0)) > f64(arg(1))))
+	case ir.OpFGe:
+		set(b2w(f64(arg(0)) >= f64(arg(1))))
+	case ir.OpSelect:
+		if arg(0) != 0 {
+			set(arg(1))
+		} else {
+			set(arg(2))
+		}
+	case ir.OpPtrToInt, ir.OpIntToPtr:
+		set(arg(0))
+	case ir.OpLoad:
+		addr := arg(0)
+		v, err := it.AS.Read(addr, in.Size)
+		if err != nil {
+			return err
+		}
+		set(v)
+		if it.Hooks.OnLoad != nil {
+			it.Hooks.OnLoad(fr, in, addr, in.Size)
+		}
+	case ir.OpStore:
+		addr := arg(1)
+		if err := it.AS.Write(addr, in.Size, arg(0)); err != nil {
+			return err
+		}
+		if it.Hooks.OnStore != nil {
+			it.Hooks.OnStore(fr, in, addr, in.Size)
+		}
+	case ir.OpAlloca:
+		addr, err := it.AS.Alloc(ir.HeapSystem, uint64(in.Size))
+		if err != nil {
+			return err
+		}
+		fr.allocas = append(fr.allocas, addr)
+		set(addr)
+		if it.Hooks.OnAlloc != nil {
+			it.Hooks.OnAlloc(fr, in, addr, uint64(in.Size))
+		}
+	case ir.OpMalloc:
+		size := arg(0)
+		addr, err := it.AS.Alloc(ir.HeapSystem, size)
+		if err != nil {
+			return err
+		}
+		set(addr)
+		if it.Hooks.OnAlloc != nil {
+			it.Hooks.OnAlloc(fr, in, addr, size)
+		}
+	case ir.OpHAlloc:
+		size := arg(0)
+		addr, err := it.AS.Alloc(in.Heap, size)
+		if err != nil {
+			return err
+		}
+		set(addr)
+		if it.Hooks.OnAlloc != nil {
+			it.Hooks.OnAlloc(fr, in, addr, size)
+		}
+	case ir.OpFree, ir.OpHDealloc:
+		addr := arg(0)
+		if it.Hooks.OnFree != nil {
+			it.Hooks.OnFree(fr, in, addr)
+		}
+		if err := it.AS.Free(addr); err != nil {
+			return err
+		}
+	case ir.OpGlobal:
+		set(it.globalAddrs[in.GlobalRef])
+	case ir.OpMemSet:
+		addr, n, b := arg(0), arg(1), byte(arg(2))
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = b
+		}
+		if err := it.AS.WriteBytes(addr, buf); err != nil {
+			return err
+		}
+		if it.Hooks.OnStore != nil {
+			it.Hooks.OnStore(fr, in, addr, int64(n))
+		}
+	case ir.OpMemCopy:
+		dst, src, n := arg(0), arg(1), arg(2)
+		buf := make([]byte, n)
+		if err := it.AS.ReadBytes(src, buf); err != nil {
+			return err
+		}
+		if it.Hooks.OnLoad != nil {
+			it.Hooks.OnLoad(fr, in, src, int64(n))
+		}
+		if err := it.AS.WriteBytes(dst, buf); err != nil {
+			return err
+		}
+		if it.Hooks.OnStore != nil {
+			it.Hooks.OnStore(fr, in, dst, int64(n))
+		}
+	case ir.OpCall:
+		args := make([]uint64, len(in.Args))
+		for i := range in.Args {
+			args[i] = arg(i)
+		}
+		if it.Hooks.CallOverride != nil {
+			v, handled, err := it.Hooks.CallOverride(fr, in, in.Callee, args)
+			if err != nil {
+				return err
+			}
+			if handled {
+				set(v)
+				return nil
+			}
+		}
+		v, err := it.call(in.Callee, args, fr)
+		if err != nil {
+			return err
+		}
+		set(v)
+	case ir.OpBuiltin:
+		v, err := it.builtin(in, fr)
+		if err != nil {
+			return err
+		}
+		set(v)
+	case ir.OpPrint:
+		text := formatPrint(in, fr)
+		if it.Hooks.OnPrint == nil || !it.Hooks.OnPrint(in, text) {
+			if it.Out == nil {
+				it.Out = &strings.Builder{}
+			}
+			it.Out.WriteString(text)
+		}
+	case ir.OpCheckHeap:
+		addr := arg(0)
+		if it.Hooks.CheckHeap != nil {
+			return it.Hooks.CheckHeap(in, addr)
+		}
+		if addr != 0 && ir.HeapOf(addr) != in.Heap {
+			return &MisspecError{Instr: in, Reason: fmt.Sprintf(
+				"separation violated: %#x is in %s, expected %s", addr, ir.HeapOf(addr), in.Heap)}
+		}
+	case ir.OpPrivateRead:
+		if it.Hooks.PrivateRead != nil {
+			return it.Hooks.PrivateRead(in, arg(0), in.Size)
+		}
+	case ir.OpPrivateWrite:
+		if it.Hooks.PrivateWrite != nil {
+			return it.Hooks.PrivateWrite(in, arg(0), in.Size)
+		}
+	case ir.OpReduxWrite:
+		if it.Hooks.ReduxWrite != nil {
+			return it.Hooks.ReduxWrite(in, arg(0), in.Size)
+		}
+	case ir.OpPredict:
+		if it.Hooks.Predict != nil {
+			return it.Hooks.Predict(in, arg(0), arg(1))
+		}
+		if arg(0) != arg(1) {
+			return &MisspecError{Instr: in, Reason: fmt.Sprintf(
+				"value prediction failed: %d != %d", arg(0), arg(1))}
+		}
+	case ir.OpMisspec:
+		if it.Hooks.Misspec != nil {
+			return it.Hooks.Misspec(in)
+		}
+		return &MisspecError{Instr: in, Reason: "explicit misspec"}
+	default:
+		return fmt.Errorf("interp: cannot execute %s", in.Format())
+	}
+	return nil
+}
+
+func (it *Interp) builtin(in *ir.Instr, fr *Frame) (uint64, error) {
+	arg := func(i int) float64 { return f64(fr.vals[in.Args[i].ValueID()]) }
+	switch in.Builtin {
+	case "sqrt":
+		return bits(math.Sqrt(arg(0))), nil
+	case "exp":
+		return bits(math.Exp(arg(0))), nil
+	case "log":
+		return bits(math.Log(arg(0))), nil
+	case "pow":
+		return bits(math.Pow(arg(0), arg(1))), nil
+	case "fabs":
+		return bits(math.Abs(arg(0))), nil
+	case "floor":
+		return bits(math.Floor(arg(0))), nil
+	case "sin":
+		return bits(math.Sin(arg(0))), nil
+	case "cos":
+		return bits(math.Cos(arg(0))), nil
+	default:
+		return 0, fmt.Errorf("interp: unknown builtin %q", in.Builtin)
+	}
+}
+
+// formatPrint renders an OpPrint: verbs %d, %u, %x, %f, %g, %c and %%.
+func formatPrint(in *ir.Instr, fr *Frame) string {
+	var sb strings.Builder
+	s := in.Str
+	argi := 0
+	nextArg := func() uint64 {
+		if argi < len(in.Args) {
+			v := fr.vals[in.Args[argi].ValueID()]
+			argi++
+			return v
+		}
+		return 0
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' || i+1 >= len(s) {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'd':
+			fmt.Fprintf(&sb, "%d", int64(nextArg()))
+		case 'u':
+			fmt.Fprintf(&sb, "%d", nextArg())
+		case 'x':
+			fmt.Fprintf(&sb, "%x", nextArg())
+		case 'f':
+			fmt.Fprintf(&sb, "%.6f", f64(nextArg()))
+		case 'g':
+			fmt.Fprintf(&sb, "%g", f64(nextArg()))
+		case 'c':
+			sb.WriteByte(byte(nextArg()))
+		case '%':
+			sb.WriteByte('%')
+		default:
+			sb.WriteByte('%')
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package intervalmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	var m Map[string]
+	m.Insert(100, 200, "a")
+	m.Insert(300, 400, "b")
+	cases := []struct {
+		addr uint64
+		want string
+		ok   bool
+	}{
+		{99, "", false}, {100, "a", true}, {150, "a", true}, {199, "a", true},
+		{200, "", false}, {250, "", false}, {300, "b", true}, {399, "b", true},
+		{400, "", false},
+	}
+	for _, c := range cases {
+		got, ok := m.Lookup(c.addr)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%d) = %q,%v; want %q,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestInsertReplacesOverlap(t *testing.T) {
+	var m Map[string]
+	m.Insert(100, 200, "a")
+	m.Insert(150, 250, "b") // overlaps tail of a
+	if v, _ := m.Lookup(120); v != "a" {
+		t.Errorf("head remnant lost: %q", v)
+	}
+	if v, _ := m.Lookup(180); v != "b" {
+		t.Errorf("overlap not replaced: %q", v)
+	}
+	if v, _ := m.Lookup(240); v != "b" {
+		t.Errorf("extension lost: %q", v)
+	}
+}
+
+func TestInsertSwallowsContained(t *testing.T) {
+	var m Map[string]
+	m.Insert(100, 110, "x")
+	m.Insert(120, 130, "y")
+	m.Insert(90, 140, "big")
+	for _, a := range []uint64{95, 105, 125, 139} {
+		if v, _ := m.Lookup(a); v != "big" {
+			t.Errorf("Lookup(%d) = %q, want big", a, v)
+		}
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestInsertSplitsContainer(t *testing.T) {
+	var m Map[string]
+	m.Insert(100, 200, "outer")
+	m.Insert(140, 160, "inner")
+	if v, _ := m.Lookup(120); v != "outer" {
+		t.Errorf("left remnant: %q", v)
+	}
+	if v, _ := m.Lookup(150); v != "inner" {
+		t.Errorf("inner: %q", v)
+	}
+	if v, _ := m.Lookup(180); v != "outer" {
+		t.Errorf("right remnant: %q", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var m Map[int]
+	m.Insert(10, 20, 1)
+	m.Insert(20, 30, 2)
+	v, ok := m.Remove(15)
+	if !ok || v != 1 {
+		t.Fatalf("Remove(15) = %d,%v", v, ok)
+	}
+	if _, ok := m.Lookup(15); ok {
+		t.Error("interval still present after Remove")
+	}
+	if v, ok := m.Lookup(25); !ok || v != 2 {
+		t.Error("unrelated interval disturbed")
+	}
+	if _, ok := m.Remove(15); ok {
+		t.Error("second Remove should fail")
+	}
+}
+
+func TestBoundsAndEach(t *testing.T) {
+	var m Map[string]
+	m.Insert(5, 10, "a")
+	m.Insert(10, 15, "b")
+	lo, hi, ok := m.Bounds(12)
+	if !ok || lo != 10 || hi != 15 {
+		t.Errorf("Bounds(12) = %d,%d,%v", lo, hi, ok)
+	}
+	var order []string
+	m.Each(func(lo, hi uint64, v string) bool {
+		order = append(order, v)
+		return true
+	})
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("Each order = %v", order)
+	}
+}
+
+func TestEmptyIntervalIgnored(t *testing.T) {
+	var m Map[string]
+	m.Insert(10, 10, "z")
+	if m.Len() != 0 {
+		t.Error("empty interval inserted")
+	}
+}
+
+// Property: after a random series of non-overlapping inserts and removes,
+// lookups agree with a reference map implemented by brute force.
+func TestAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m Map[int]
+		type ref struct {
+			lo, hi uint64
+			v      int
+		}
+		var refs []ref
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0, 1: // insert
+				lo := uint64(rng.Intn(1000))
+				hi := lo + uint64(1+rng.Intn(50))
+				v := rng.Int()
+				m.Insert(lo, hi, v)
+				// Remove overlapped portions from refs.
+				var next []ref
+				for _, r := range refs {
+					if r.hi <= lo || r.lo >= hi {
+						next = append(next, r)
+						continue
+					}
+					if r.lo < lo {
+						next = append(next, ref{r.lo, lo, r.v})
+					}
+					if r.hi > hi {
+						next = append(next, ref{hi, r.hi, r.v})
+					}
+				}
+				refs = append(next, ref{lo, hi, v})
+			case 2: // remove
+				a := uint64(rng.Intn(1000))
+				m.Remove(a)
+				for i, r := range refs {
+					if a >= r.lo && a < r.hi {
+						refs = append(refs[:i], refs[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		for a := uint64(0); a < 1100; a += 7 {
+			got, ok := m.Lookup(a)
+			var want int
+			wantOK := false
+			for _, r := range refs {
+				if a >= r.lo && a < r.hi {
+					want, wantOK = r.v, true
+				}
+			}
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package ir
+
+import "fmt"
+
+// HeapKind names one of Privateer's logical heaps (section 4.2). A heap
+// assignment maps every memory object of a loop to exactly one HeapKind; at
+// run time all objects of a heap live in a fixed virtual address range whose
+// tag is embedded in address bits 44-46, so separation can be validated by
+// bit arithmetic on the pointer alone (section 5.1).
+type HeapKind uint8
+
+const (
+	// HeapSystem holds objects outside any heap assignment: the stack,
+	// unclassified globals, and all memory outside parallel regions.
+	HeapSystem HeapKind = iota
+	// HeapPrivate holds objects speculated to satisfy the Privatization
+	// Criterion: no read returns a value written in an earlier iteration.
+	HeapPrivate
+	// HeapRedux holds accumulators updated only by a single associative,
+	// commutative operator (the Reduction Criterion).
+	HeapRedux
+	// HeapShortLived holds objects allocated and freed within a single
+	// iteration (object lifetime speculation).
+	HeapShortLived
+	// HeapReadOnly holds objects that are only read inside the loop.
+	HeapReadOnly
+	// HeapUnrestricted holds objects that partake in genuine loop-carried
+	// dependences; a loop whose footprint touches it cannot be DOALLed.
+	HeapUnrestricted
+	// HeapShadow is the metadata heap paired with HeapPrivate. Its tag
+	// differs from HeapPrivate's in exactly one bit, so the shadow address
+	// of a private byte is computed with a single OR.
+	HeapShadow
+
+	// NumHeaps is the count of distinct heap kinds.
+	NumHeaps = 7
+)
+
+// Tag bit layout: bits 44-46 of a virtual address hold the 3-bit heap tag,
+// giving each heap 16 TB of allocation (the paper's layout).
+const (
+	// TagShift is the bit position of the heap tag within an address.
+	TagShift = 44
+	// TagMask extracts the heap tag after shifting.
+	TagMask = 0x7
+	// ShadowBit is the single bit distinguishing the shadow heap's tag
+	// (0b101) from the private heap's (0b001).
+	ShadowBit = uint64(1) << 46
+)
+
+// tag values are chosen so that private (001) and shadow (101) differ only
+// in bit 46, as the paper requires for the one-instruction shadow lookup.
+var heapTags = [NumHeaps]uint64{
+	HeapSystem:       0,
+	HeapPrivate:      1, // 0b001
+	HeapRedux:        2, // 0b010
+	HeapShortLived:   3, // 0b011
+	HeapReadOnly:     4, // 0b100
+	HeapShadow:       5, // 0b101 = private | (1<<2)
+	HeapUnrestricted: 6, // 0b110
+}
+
+// Tag returns the 3-bit heap tag assigned to h.
+func (h HeapKind) Tag() uint64 { return heapTags[h] }
+
+// Base returns the lowest virtual address of h's 16 TB region.
+func (h HeapKind) Base() uint64 { return heapTags[h] << TagShift }
+
+// TagOf extracts the heap tag from a virtual address.
+func TagOf(addr uint64) uint64 { return (addr >> TagShift) & TagMask }
+
+// HeapOf maps a virtual address to the heap kind owning it.
+func HeapOf(addr uint64) HeapKind {
+	switch TagOf(addr) {
+	case 1:
+		return HeapPrivate
+	case 2:
+		return HeapRedux
+	case 3:
+		return HeapShortLived
+	case 4:
+		return HeapReadOnly
+	case 5:
+		return HeapShadow
+	case 6:
+		return HeapUnrestricted
+	default:
+		return HeapSystem
+	}
+}
+
+// ShadowAddr returns the metadata address paired with the private address p.
+// It is a single bit-wise OR, mirroring the paper's encoding.
+func ShadowAddr(p uint64) uint64 { return p | ShadowBit }
+
+func (h HeapKind) String() string {
+	switch h {
+	case HeapSystem:
+		return "system"
+	case HeapPrivate:
+		return "private"
+	case HeapRedux:
+		return "redux"
+	case HeapShortLived:
+		return "short-lived"
+	case HeapReadOnly:
+		return "read-only"
+	case HeapUnrestricted:
+		return "unrestricted"
+	case HeapShadow:
+		return "shadow"
+	}
+	return fmt.Sprintf("heap(%d)", uint8(h))
+}

@@ -1,0 +1,293 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is anything an instruction can consume as an operand: a parameter or
+// another instruction's result.
+type Value interface {
+	// ValueID returns a function-unique identifier, used for dense maps.
+	ValueID() int
+	// Type returns the value's IR type.
+	Type() Type
+	// String returns a printable SSA name such as %v12 or %argc.
+	String() string
+}
+
+// Param is a formal parameter of a Function.
+type Param struct {
+	id   int
+	name string
+	typ  Type
+	// Index is the zero-based parameter position.
+	Index int
+	// Fn is the function declaring this parameter.
+	Fn *Function
+}
+
+// ValueID implements Value.
+func (p *Param) ValueID() int { return p.id }
+
+// Type implements Value.
+func (p *Param) Type() Type { return p.typ }
+
+func (p *Param) String() string { return "%" + p.name }
+
+// Global is a module-level memory object: a named, fixed-size region
+// optionally carrying initial bytes. Globals are the static allocation sites
+// that the paper's pre-main initializer re-routes into logical heaps.
+type Global struct {
+	// Name is the unique symbol name.
+	Name string
+	// Size is the object size in bytes.
+	Size int64
+	// Init holds the initial contents; shorter than Size means
+	// zero-filled tail. Nil means all zeros.
+	Init []byte
+	// Heap is the logical heap assigned by the privatizing transformation;
+	// HeapSystem before any assignment.
+	Heap HeapKind
+}
+
+// Instr is a single IR instruction. The representation is uniform (one
+// struct for every opcode, discriminated by Op) so that analyses can walk
+// operands generically; opcode-specific payload lives in the auxiliary
+// fields below.
+type Instr struct {
+	id int
+	// Op is the opcode.
+	Op Op
+	// Typ is the result type (Void for instructions producing no value).
+	Typ Type
+	// Args are the value operands.
+	Args []Value
+	// Blk is the containing basic block.
+	Blk *Block
+
+	// Const carries the literal for OpConst/OpFConst (float bit pattern).
+	Const uint64
+	// Size is the access width in bytes for loads, stores and privacy
+	// checks, and the object size for OpAlloca.
+	Size int64
+	// Float marks loads/stores whose value should be interpreted as F64.
+	Float bool
+	// Callee is the target of OpCall.
+	Callee *Function
+	// Builtin is the runtime function name for OpBuiltin.
+	Builtin string
+	// Str is the format string of OpPrint.
+	Str string
+	// GlobalRef names the module global for OpGlobal.
+	GlobalRef *Global
+	// Targets are successor blocks of terminators.
+	Targets []*Block
+	// Preds aligns with Args for OpPhi: Args[i] flows in from Preds[i].
+	Preds []*Block
+	// Heap is the logical heap operand of h_alloc/h_dealloc/check_heap.
+	Heap HeapKind
+	// Redux is the reduction operator of OpReduxWrite.
+	Redux ReduxKind
+	// Name optionally labels the instruction (allocation-site names).
+	Name string
+}
+
+// ValueID implements Value.
+func (in *Instr) ValueID() int { return in.id }
+
+// Type implements Value.
+func (in *Instr) Type() Type { return in.Typ }
+
+func (in *Instr) String() string {
+	if in.Name != "" {
+		return "%" + in.Name
+	}
+	return fmt.Sprintf("%%v%d", in.id)
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator.
+type Block struct {
+	// Name labels the block in printed IR.
+	Name string
+	// Fn is the containing function.
+	Fn *Function
+	// Instrs are the block's instructions in order; the last is the
+	// terminator once the block is complete.
+	Instrs []*Instr
+	// Index is the block's position in Fn.Blocks.
+	Index int
+
+	preds []*Block
+}
+
+// Terminator returns the block's final instruction, or nil if the block is
+// still under construction.
+func (b *Block) Terminator() *Instr {
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op.IsTerminator() {
+		return b.Instrs[n-1]
+	}
+	return nil
+}
+
+// Succs returns the block's successor blocks.
+func (b *Block) Succs() []*Block {
+	if t := b.Terminator(); t != nil {
+		return t.Targets
+	}
+	return nil
+}
+
+// Preds returns the block's predecessors, valid after Function.Recompute.
+func (b *Block) Preds() []*Block { return b.preds }
+
+func (b *Block) String() string { return b.Name }
+
+// Function is an IR function: parameters, basic blocks and a return type.
+type Function struct {
+	// Name is the unique symbol name.
+	Name string
+	// Params are the formal parameters.
+	Params []*Param
+	// RetType is the return type (Void for none).
+	RetType Type
+	// Blocks lists the basic blocks; Blocks[0] is the entry.
+	Blocks []*Block
+	// Mod is the containing module.
+	Mod *Module
+
+	nextID int
+}
+
+// Entry returns the function's entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// NewBlock appends a fresh, empty block named name to the function.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: name, Fn: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewParam appends a parameter to the function signature.
+func (f *Function) NewParam(name string, t Type) *Param {
+	p := &Param{id: f.nextID, name: name, typ: t, Index: len(f.Params), Fn: f}
+	f.nextID++
+	f.Params = append(f.Params, p)
+	return p
+}
+
+// newInstr allocates an instruction with a fresh ID, unattached to a block.
+func (f *Function) newInstr(op Op, t Type, args ...Value) *Instr {
+	in := &Instr{id: f.nextID, Op: op, Typ: t, Args: args}
+	f.nextID++
+	return in
+}
+
+// NumValues returns an upper bound on value IDs in the function, for dense
+// side tables.
+func (f *Function) NumValues() int { return f.nextID }
+
+// EnsureIDCapacity raises the function's value-ID horizon to at least n.
+// Outlining moves instructions between functions without renumbering them;
+// the destination must reserve the source's ID space.
+func (f *Function) EnsureIDCapacity(n int) {
+	if n > f.nextID {
+		f.nextID = n
+	}
+}
+
+// Recompute rebuilds derived structure: block indices and predecessor lists.
+// Call it after any CFG edit and before dominator or loop analysis.
+func (f *Function) Recompute() {
+	for i, b := range f.Blocks {
+		b.Index = i
+		b.preds = b.preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			s.preds = append(s.preds, b)
+		}
+	}
+}
+
+// Instrs calls visit for every instruction in the function, in block order.
+func (f *Function) Instrs(visit func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			visit(in)
+		}
+	}
+}
+
+// Module is a whole program: functions, globals, and the designated entry
+// point ("main").
+type Module struct {
+	// Name labels the module in diagnostics.
+	Name string
+	// Funcs maps function names to functions.
+	Funcs map[string]*Function
+	// Globals maps global names to globals.
+	Globals map[string]*Global
+	// EntryName is the function executed first (default "main").
+	EntryName string
+
+	funcOrder   []string
+	globalOrder []string
+}
+
+// NewModule returns an empty module named name with entry point "main".
+func NewModule(name string) *Module {
+	return &Module{
+		Name:      name,
+		Funcs:     map[string]*Function{},
+		Globals:   map[string]*Global{},
+		EntryName: "main",
+	}
+}
+
+// NewFunc creates, registers and returns a function with the given name and
+// return type.
+func (m *Module) NewFunc(name string, ret Type) *Function {
+	if _, dup := m.Funcs[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", name))
+	}
+	f := &Function{Name: name, RetType: ret, Mod: m}
+	f.NewBlock("entry")
+	m.Funcs[name] = f
+	m.funcOrder = append(m.funcOrder, name)
+	return f
+}
+
+// NewGlobal creates, registers and returns a global of size bytes.
+func (m *Module) NewGlobal(name string, size int64) *Global {
+	if _, dup := m.Globals[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate global %q", name))
+	}
+	g := &Global{Name: name, Size: size}
+	m.Globals[name] = g
+	m.globalOrder = append(m.globalOrder, name)
+	return g
+}
+
+// Entry returns the module's entry function, or nil if undefined.
+func (m *Module) Entry() *Function { return m.Funcs[m.EntryName] }
+
+// FuncNames returns function names in declaration order.
+func (m *Module) FuncNames() []string { return m.funcOrder }
+
+// GlobalNames returns global names in declaration order.
+func (m *Module) GlobalNames() []string { return m.globalOrder }
+
+// SortedFuncs returns the functions sorted by name, for deterministic
+// iteration in analyses and tests.
+func (m *Module) SortedFuncs() []*Function {
+	names := append([]string(nil), m.funcOrder...)
+	sort.Strings(names)
+	fs := make([]*Function, len(names))
+	for i, n := range names {
+		fs[i] = m.Funcs[n]
+	}
+	return fs
+}

@@ -1,0 +1,281 @@
+package ir
+
+import "math"
+
+// Optimize runs a small mid-end pass pipeline over f until a fixpoint:
+// constant folding, algebraic simplification, copy and phi simplification,
+// and dead-code elimination. It preserves execution behaviour exactly
+// (including traps: division by a non-constant zero is never folded away,
+// and memory or side-effecting instructions are never removed).
+//
+// The pass is optional — the Privateer pipeline operates on unoptimized IR
+// just as well — but front-end output (the builder's structured helpers)
+// carries redundant constants and dead address arithmetic that this removes,
+// like any mid-end would before profile instrumentation.
+func Optimize(f *Function) {
+	for changed := true; changed; {
+		changed = foldConstants(f)
+		if eliminateDeadCode(f) {
+			changed = true
+		}
+	}
+	f.Recompute()
+}
+
+// constValue reports whether v is an integer/float constant.
+func constValue(v Value) (uint64, bool) {
+	in, ok := v.(*Instr)
+	if !ok || (in.Op != OpConst && in.Op != OpFConst) {
+		return 0, false
+	}
+	return in.Const, true
+}
+
+// foldConstants replaces instructions with constant or simpler equivalents.
+// Folded instructions are rewritten in place into OpConst/OpFConst, so uses
+// need no rewriting; DCE later removes the newly dead operand chains.
+func foldConstants(f *Function) bool {
+	changed := false
+	// replaceWith rewires every use of in to v (a simplification target).
+	uses := map[Value][]*Instr{}
+	f.Instrs(func(in *Instr) {
+		for _, a := range in.Args {
+			uses[a] = append(uses[a], in)
+		}
+	})
+	replaceWith := func(in *Instr, v Value) {
+		for _, user := range uses[in] {
+			for i, a := range user.Args {
+				if a == Value(in) {
+					user.Args[i] = v
+				}
+			}
+			uses[v] = append(uses[v], user)
+		}
+		changed = true
+	}
+	toConst := func(in *Instr, val uint64, float bool) {
+		in.Op = OpConst
+		if float {
+			in.Op = OpFConst
+		}
+		in.Const = val
+		in.Args = nil
+		changed = true
+	}
+
+	f.Instrs(func(in *Instr) {
+		if in.Op == OpConst || in.Op == OpFConst {
+			return
+		}
+		// Phi with one distinct incoming value simplifies to that value.
+		if in.Op == OpPhi {
+			var only Value
+			same := true
+			for _, a := range in.Args {
+				if a == Value(in) {
+					continue // self-reference
+				}
+				if only == nil {
+					only = a
+				} else if only != a {
+					same = false
+				}
+			}
+			if same && only != nil {
+				replaceWith(in, only)
+			}
+			return
+		}
+
+		// Gather constant operands.
+		var c [3]uint64
+		allConst := len(in.Args) > 0 && len(in.Args) <= 3
+		for i, a := range in.Args {
+			v, ok := constValue(a)
+			if !ok {
+				allConst = false
+				break
+			}
+			c[i] = v
+		}
+
+		// Algebraic identities that need only one constant operand.
+		switch in.Op {
+		case OpAdd, OpOr, OpXor, OpSub, OpShl, OpLShr, OpAShr:
+			if v, ok := constValue(in.Args[1]); ok && v == 0 {
+				replaceWith(in, in.Args[0])
+				return
+			}
+			if in.Op == OpAdd {
+				if v, ok := constValue(in.Args[0]); ok && v == 0 {
+					replaceWith(in, in.Args[1])
+					return
+				}
+			}
+		case OpMul:
+			if v, ok := constValue(in.Args[1]); ok && v == 1 {
+				replaceWith(in, in.Args[0])
+				return
+			}
+			if v, ok := constValue(in.Args[0]); ok && v == 1 {
+				replaceWith(in, in.Args[1])
+				return
+			}
+		case OpSelect:
+			if v, ok := constValue(in.Args[0]); ok {
+				if v != 0 {
+					replaceWith(in, in.Args[1])
+				} else {
+					replaceWith(in, in.Args[2])
+				}
+				return
+			}
+			if in.Args[1] == in.Args[2] {
+				replaceWith(in, in.Args[1])
+				return
+			}
+		}
+		if !allConst {
+			return
+		}
+
+		b2u := func(b bool) uint64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		fa, fb := math.Float64frombits(c[0]), math.Float64frombits(c[1])
+		switch in.Op {
+		case OpAdd:
+			toConst(in, c[0]+c[1], false)
+		case OpSub:
+			toConst(in, c[0]-c[1], false)
+		case OpMul:
+			toConst(in, c[0]*c[1], false)
+		case OpSDiv:
+			if c[1] != 0 {
+				toConst(in, uint64(int64(c[0])/int64(c[1])), false)
+			}
+		case OpUDiv:
+			if c[1] != 0 {
+				toConst(in, c[0]/c[1], false)
+			}
+		case OpSRem:
+			if c[1] != 0 {
+				toConst(in, uint64(int64(c[0])%int64(c[1])), false)
+			}
+		case OpURem:
+			if c[1] != 0 {
+				toConst(in, c[0]%c[1], false)
+			}
+		case OpAnd:
+			toConst(in, c[0]&c[1], false)
+		case OpOr:
+			toConst(in, c[0]|c[1], false)
+		case OpXor:
+			toConst(in, c[0]^c[1], false)
+		case OpShl:
+			toConst(in, c[0]<<(c[1]&63), false)
+		case OpLShr:
+			toConst(in, c[0]>>(c[1]&63), false)
+		case OpAShr:
+			toConst(in, uint64(int64(c[0])>>(c[1]&63)), false)
+		case OpEq:
+			toConst(in, b2u(c[0] == c[1]), false)
+		case OpNe:
+			toConst(in, b2u(c[0] != c[1]), false)
+		case OpSLt:
+			toConst(in, b2u(int64(c[0]) < int64(c[1])), false)
+		case OpSLe:
+			toConst(in, b2u(int64(c[0]) <= int64(c[1])), false)
+		case OpSGt:
+			toConst(in, b2u(int64(c[0]) > int64(c[1])), false)
+		case OpSGe:
+			toConst(in, b2u(int64(c[0]) >= int64(c[1])), false)
+		case OpULt:
+			toConst(in, b2u(c[0] < c[1]), false)
+		case OpUGe:
+			toConst(in, b2u(c[0] >= c[1]), false)
+		case OpFAdd:
+			toConst(in, math.Float64bits(fa+fb), true)
+		case OpFSub:
+			toConst(in, math.Float64bits(fa-fb), true)
+		case OpFMul:
+			toConst(in, math.Float64bits(fa*fb), true)
+		case OpFDiv:
+			toConst(in, math.Float64bits(fa/fb), true)
+		case OpFEq:
+			toConst(in, b2u(fa == fb), false)
+		case OpFLt:
+			toConst(in, b2u(fa < fb), false)
+		case OpFLe:
+			toConst(in, b2u(fa <= fb), false)
+		case OpFGt:
+			toConst(in, b2u(fa > fb), false)
+		case OpFGe:
+			toConst(in, b2u(fa >= fb), false)
+		case OpSIToFP:
+			toConst(in, math.Float64bits(float64(int64(c[0]))), true)
+		case OpFPToSI:
+			toConst(in, uint64(int64(fa)), false)
+		case OpPtrToInt, OpIntToPtr:
+			toConst(in, c[0], false)
+		}
+	})
+	return changed
+}
+
+// sideEffectFree reports whether removing an unused in cannot change
+// behaviour.
+func sideEffectFree(in *Instr) bool {
+	switch in.Op {
+	case OpConst, OpFConst, OpSIToFP, OpFPToSI,
+		OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr,
+		OpEq, OpNe, OpSLt, OpSLe, OpSGt, OpSGe, OpULt, OpUGe,
+		OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpFEq, OpFLt, OpFLe, OpFGt, OpFGe,
+		OpSelect, OpGlobal, OpPtrToInt, OpIntToPtr, OpLoad, OpPhi:
+		return true
+	case OpSDiv, OpUDiv, OpSRem, OpURem:
+		// Division traps on zero divisors; only remove when the divisor
+		// is a nonzero constant.
+		v, ok := constValue(in.Args[1])
+		return ok && v != 0
+	default:
+		// Stores, allocations (they are named objects), frees, calls,
+		// prints, checks and terminators stay.
+		return false
+	}
+}
+
+// eliminateDeadCode removes unused side-effect-free instructions.
+func eliminateDeadCode(f *Function) bool {
+	used := map[Value]bool{}
+	f.Instrs(func(in *Instr) {
+		for _, a := range in.Args {
+			used[a] = true
+		}
+	})
+	changed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Typ != Void && !used[in] && sideEffectFree(in) {
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+// OptimizeModule optimizes every function of m.
+func OptimizeModule(m *Module) {
+	for _, f := range m.SortedFuncs() {
+		Optimize(f)
+	}
+}

@@ -1,0 +1,123 @@
+package ir
+
+import "testing"
+
+func countOps(f *Function, op Op) int {
+	n := 0
+	f.Instrs(func(in *Instr) {
+		if in.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+func TestFoldArithmetic(t *testing.T) {
+	m := NewModule("fold")
+	f := m.NewFunc("main", I64)
+	b := NewBuilder(f)
+	x := b.Add(b.I(2), b.I(3))              // 5
+	y := b.Mul(x, b.I(4))                   // 20
+	z := b.Sub(y, b.SDiv(b.I(100), b.I(5))) // 0
+	w := b.Select(b.Eq(z, b.I(0)), b.I(42), b.I(7))
+	b.Ret(w)
+	Optimize(f)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Everything folds to a single constant return.
+	term := f.Entry().Terminator()
+	c, ok := constValue(term.Args[0])
+	if !ok || c != 42 {
+		t.Fatalf("folded return = %v\n%s", term.Args[0], FormatFunc(f))
+	}
+	// Only the surviving constant(s) and ret remain.
+	if got := len(f.Entry().Instrs); got > 3 {
+		t.Errorf("%d instructions survive, want <= 3:\n%s", got, FormatFunc(f))
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	m := NewModule("id")
+	f := m.NewFunc("main", I64)
+	p := f.NewParam("p", I64)
+	b := NewBuilder(f)
+	a := b.Add(p, b.I(0)) // = p
+	c := b.Mul(a, b.I(1)) // = p
+	d := b.Shl(c, b.I(0)) // = p
+	b.Ret(d)
+	Optimize(f)
+	term := f.Entry().Terminator()
+	if term.Args[0] != Value(p) {
+		t.Errorf("identities not collapsed: ret %v", term.Args[0])
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	m := NewModule("div0")
+	f := m.NewFunc("main", I64)
+	b := NewBuilder(f)
+	d := b.SDiv(b.I(1), b.I(0)) // traps at run time: must survive
+	b.Ret(b.I(7))
+	_ = d
+	Optimize(f)
+	if countOps(f, OpSDiv) != 1 {
+		t.Error("trapping division was removed or folded")
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := NewModule("dce")
+	g := m.NewGlobal("g", 8)
+	f := m.NewFunc("main", I64)
+	b := NewBuilder(f)
+	dead := b.Add(b.I(1), b.I(2)) // unused
+	_ = dead
+	b.Store(b.I(5), b.Global(g), 8) // effect: stays
+	mallocd := b.Malloc("obj", b.I(8))
+	_ = mallocd // allocation site: stays (it is a named object)
+	b.Print("x\n")
+	b.Ret(b.I(0))
+	Optimize(f)
+	if countOps(f, OpStore) != 1 || countOps(f, OpMalloc) != 1 || countOps(f, OpPrint) != 1 {
+		t.Errorf("side effects removed:\n%s", FormatFunc(f))
+	}
+	if countOps(f, OpAdd) != 0 {
+		t.Error("dead add survived")
+	}
+}
+
+func TestOptimizeLoopKeepsSemantics(t *testing.T) {
+	build := func() *Function {
+		m := NewModule("l")
+		g := m.NewGlobal("sum", 8)
+		f := m.NewFunc("main", I64)
+		b := NewBuilder(f)
+		b.For("i", b.I(0), b.I(10), func(iv *Instr) {
+			addr := b.Global(g)
+			v := b.Mul(b.Ld(iv), b.Add(b.I(2), b.I(3))) // foldable factor
+			b.Store(b.Add(b.Load(addr, 8), v), addr, 8)
+		})
+		b.Ret(b.Load(b.Global(g), 8))
+		PromoteAllocas(f)
+		return f
+	}
+	f := build()
+	before := 0
+	f.Instrs(func(*Instr) { before++ })
+	Optimize(f)
+	after := 0
+	f.Instrs(func(*Instr) { after++ })
+	if after >= before {
+		t.Errorf("no shrink: %d -> %d", before, after)
+	}
+	if err := Verify(f.Mod); err != nil {
+		t.Fatalf("broken after optimize: %v\n%s", err, FormatFunc(f))
+	}
+	// The loop structure must survive.
+	f.Recompute()
+	dt := BuildDomTree(f)
+	if len(FindLoops(f, dt)) != 1 {
+		t.Error("loop destroyed")
+	}
+}

@@ -1,0 +1,168 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// namer assigns unique printable names to the values of one function.
+// Source-level names (allocation sites, promoted slots) are kept when
+// unique and suffixed _2, _3, ... on collision; unnamed values print as
+// %v<id>. The textual grammar (see Parse) is therefore unambiguous, and
+// Parse∘FormatModule is a fixpoint.
+type namer map[Value]string
+
+func buildNamer(f *Function) namer {
+	nm := namer{}
+	used := map[string]int{}
+	claim := func(v Value, base string) {
+		used[base]++
+		if n := used[base]; n > 1 {
+			base = fmt.Sprintf("%s_%d", base, n)
+			// The suffixed form must itself be unique.
+			for used[base] > 0 {
+				base += "x"
+			}
+			used[base]++
+		}
+		nm[v] = "%" + base
+	}
+	for _, p := range f.Params {
+		claim(p, strings.TrimPrefix(p.String(), "%"))
+	}
+	f.Instrs(func(in *Instr) {
+		if in.Typ == Void {
+			return
+		}
+		if in.Name != "" {
+			claim(in, in.Name)
+		} else {
+			claim(in, fmt.Sprintf("v%d", in.id))
+		}
+	})
+	return nm
+}
+
+func (nm namer) of(v Value) string {
+	if nm != nil {
+		if s, ok := nm[v]; ok {
+			return s
+		}
+	}
+	return v.String()
+}
+
+// instrString renders one instruction in the textual IR syntax.
+func instrString(in *Instr, nm namer) string {
+	if in == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	if in.Typ != Void {
+		fmt.Fprintf(&sb, "%s = ", nm.of(in))
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(&sb, " %d", int64(in.Const))
+		if in.Typ == Ptr {
+			sb.WriteString(" ptr")
+		}
+	case OpFConst:
+		fmt.Fprintf(&sb, " %g", math.Float64frombits(in.Const))
+	case OpLoad, OpStore, OpPrivateRead, OpPrivateWrite:
+		fmt.Fprintf(&sb, ".%d", in.Size)
+		if in.Float {
+			sb.WriteString("f")
+		}
+	case OpReduxWrite:
+		fmt.Fprintf(&sb, ".%d.%s", in.Size, in.Redux)
+	case OpAlloca:
+		fmt.Fprintf(&sb, " %d", in.Size)
+	case OpGlobal:
+		fmt.Fprintf(&sb, " @%s", in.GlobalRef.Name)
+	case OpCall:
+		fmt.Fprintf(&sb, " @%s", in.Callee.Name)
+	case OpBuiltin:
+		fmt.Fprintf(&sb, " !%s", in.Builtin)
+	case OpPrint:
+		fmt.Fprintf(&sb, " %q", in.Str)
+	}
+	switch in.Op {
+	case OpHAlloc, OpHDealloc, OpCheckHeap:
+		fmt.Fprintf(&sb, " [%s]", in.Heap)
+	}
+	for i, a := range in.Args {
+		if i == 0 {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(nm.of(a))
+		if in.Op == OpPhi && i < len(in.Preds) {
+			fmt.Fprintf(&sb, " [%s]", in.Preds[i].Name)
+		}
+	}
+	for i, t := range in.Targets {
+		if i == 0 && len(in.Args) == 0 {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "label %s", t.Name)
+	}
+	return sb.String()
+}
+
+// Format renders the instruction for diagnostics, using raw value names.
+func (in *Instr) Format() string { return instrString(in, nil) }
+
+// FormatFunc renders a whole function as text.
+func FormatFunc(f *Function) string {
+	nm := buildNamer(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func @%s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", nm.of(p), p.Type())
+	}
+	fmt.Fprintf(&sb, ") %s {\n", f.RetType)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", instrString(in, nm))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FormatModule renders the whole module as text, globals first. The output
+// round-trips through Parse.
+func FormatModule(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s", m.Name)
+	if m.EntryName != "main" {
+		fmt.Fprintf(&sb, " entry=%s", m.EntryName)
+	}
+	sb.WriteString("\n")
+	for _, name := range m.GlobalNames() {
+		g := m.Globals[name]
+		fmt.Fprintf(&sb, "global @%s [%d bytes]", g.Name, g.Size)
+		if g.Heap != HeapSystem {
+			fmt.Fprintf(&sb, " heap=%s", g.Heap)
+		}
+		if len(g.Init) > 0 {
+			fmt.Fprintf(&sb, " init=%x", g.Init)
+		}
+		sb.WriteString("\n")
+	}
+	for _, name := range m.FuncNames() {
+		sb.WriteString("\n")
+		sb.WriteString(FormatFunc(m.Funcs[name]))
+	}
+	return sb.String()
+}

@@ -1,0 +1,49 @@
+module histogram
+global @data [512 bytes] heap=read-only init=0301040105090206050305080907090302030804060206030308030205020808050901090705090804050902050307050809050906020806050805050807050901000102020303040405050606070708080900010202030304040505060607070808090001020203030404050506060707080809000102020303040405050606070708080900010203040506070809000102030405060708090001020304050607080900010203040506070809000102030405060708090001020304050607080901020304050607080900010203040506070809010203040506070809000102030405060708090102030405060708090001020304050607080900010203040506070809000102030405
+
+global @hist [80 bytes]
+global @maxv [8 bytes]
+
+func @main() i64 {
+entry:
+	%zero = const 0
+	%lim = const 512
+	br label head
+head:
+	%i = phi %zero [entry], %next [tail]
+	%c = slt %i, %lim
+	condbr %c, label body, label done
+body:
+	%dbase = global @data
+	%daddr = add %dbase, %i
+	%v = load.1 %daddr
+	%hbase = global @hist
+	%eight = const 8
+	%ten = const 10
+	%bucket = srem %v, %ten
+	%off = mul %bucket, %eight
+	%haddr = add %hbase, %off
+	%old = load.8 %haddr
+	%one = const 1
+	%new = add %old, %one
+	store.8 %new, %haddr
+	%mbase = global @maxv
+	%mold = load.8 %mbase
+	%bigger = sgt %v, %mold
+	%mnew = select %bigger, %v, %mold
+	store.8 %mnew, %mbase
+	br label tail
+tail:
+	%next = add %i, %one
+	br label head
+done:
+	%hb = global @hist
+	%h0 = load.8 %hb
+	%mb = global @maxv
+	%mx = load.8 %mb
+	print "hist[0]=%d max=%d\n" %h0, %mx
+	%hundred = const 100
+	%scaled = mul %mx, %hundred
+	%res = add %scaled, %h0
+	ret %res
+}

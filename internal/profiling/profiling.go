@@ -1,0 +1,605 @@
+// Package profiling implements Privateer's profilers (section 4.1 of the
+// paper): the pointer-to-object profiler that connects dynamic pointer
+// addresses to memory-object names via an interval map, the object-lifetime
+// profiler that identifies short-lived objects, the memory flow-dependence
+// profiler that finds loop-carried flow dependences, the value-prediction
+// profiler, and the execution-time profiler that ranks hot loops.
+//
+// All profilers attach to a single instrumented interpretation of the
+// program on a training input and produce one Profile consumed by the
+// classification and transformation stages.
+package profiling
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privateer/internal/interp"
+	"privateer/internal/intervalmap"
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// Object names a memory object by its static allocation site: a module
+// global, or a malloc/alloca instruction. This is the unit at which heap
+// assignments are expressed and allocation sites are rewritten. Dynamic
+// contexts (which call path created the object) refine lifetime analysis and
+// reporting but are folded into the site before classification, since one
+// static site can only be rewritten one way.
+type Object struct {
+	// Global is set for module globals.
+	Global *ir.Global
+	// Site is set for dynamic allocation sites (malloc/alloca).
+	Site *ir.Instr
+}
+
+// IsZero reports whether o names nothing.
+func (o Object) IsZero() bool { return o.Global == nil && o.Site == nil }
+
+func (o Object) String() string {
+	switch {
+	case o.Global != nil:
+		return "@" + o.Global.Name
+	case o.Site != nil:
+		name := o.Site.Name
+		if name == "" {
+			name = o.Site.String()
+		}
+		return o.Site.Blk.Fn.Name + ":" + name
+	default:
+		return "<none>"
+	}
+}
+
+// ObjectSet is a set of memory objects.
+type ObjectSet map[Object]bool
+
+// Add inserts o and reports whether it was new.
+func (s ObjectSet) Add(o Object) bool {
+	if s[o] {
+		return false
+	}
+	s[o] = true
+	return true
+}
+
+// Union adds every element of t to s.
+func (s ObjectSet) Union(t ObjectSet) {
+	for o := range t {
+		s[o] = true
+	}
+}
+
+// Names returns the sorted object names, for deterministic reports.
+func (s ObjectSet) Names() []string {
+	var ns []string
+	for o := range s {
+		ns = append(ns, o.String())
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Dep is one observed loop-carried memory flow dependence: Dst read a value
+// that Src wrote in an earlier iteration of the profiled loop.
+type Dep struct {
+	// Src is the store instruction.
+	Src *ir.Instr
+	// Dst is the load instruction.
+	Dst *ir.Instr
+	// Object is the memory object carrying the dependence.
+	Object Object
+	// Count is how many times the dependence manifested.
+	Count int64
+}
+
+// ConstInfo summarizes the value-prediction profile of one load.
+type ConstInfo struct {
+	// Value is the first loaded value.
+	Value uint64
+	// Stable is true while every observed load returned Value.
+	Stable bool
+	// Count is the number of observed executions.
+	Count int64
+}
+
+// CarriedReadInfo profiles the *carried* occurrences of a load: executions
+// that returned a value written in an earlier iteration. When every carried
+// occurrence reads the same value from the same fixed location, the
+// dependence can be removed by value-prediction speculation (the paper's
+// "linked list is empty at the beginning of each iteration").
+type CarriedReadInfo struct {
+	// Addr is the address of the first carried occurrence.
+	Addr uint64
+	// Value is the value of the first carried occurrence.
+	Value uint64
+	// Size is the access width.
+	Size int64
+	// Object is the memory object holding the location.
+	Object Object
+	// Offset is Addr's offset within Object.
+	Offset uint64
+	// Stable is true while every carried occurrence matches Addr/Value.
+	Stable bool
+	// Count is the number of carried occurrences.
+	Count int64
+}
+
+// LoopInfo aggregates per-loop execution statistics.
+type LoopInfo struct {
+	// Loop is the profiled loop.
+	Loop *ir.Loop
+	// Invocations counts entries into the loop from outside.
+	Invocations int64
+	// Iterations counts total header trips across invocations.
+	Iterations int64
+	// Steps approximates dynamic instructions spent inside the loop,
+	// including callees (the execution-time profile).
+	Steps int64
+}
+
+// Profile is the combined result of one profiling run.
+type Profile struct {
+	// Mod is the profiled module.
+	Mod *ir.Module
+	// Loops maps each detected loop to its statistics.
+	Loops map[*ir.Loop]*LoopInfo
+	// AllLoops lists loops of every function, for iteration.
+	AllLoops []*ir.Loop
+	// PointsTo maps each memory-touching instruction to every object its
+	// address operand referenced during profiling (the pointer-to-object
+	// profile).
+	PointsTo map[*ir.Instr]ObjectSet
+	// CarriedFlow lists observed loop-carried memory flow dependences per
+	// loop.
+	CarriedFlow map[*ir.Loop][]*Dep
+	// ShortLivedViolations records, per loop, allocation sites whose
+	// objects were seen to outlive a single iteration (or be accessed
+	// without having been allocated in the current iteration).
+	ShortLivedViolations map[*ir.Loop]ObjectSet
+	// AllocatedIn records, per loop, sites that allocated at least one
+	// object during some iteration of the loop.
+	AllocatedIn map[*ir.Loop]ObjectSet
+	// LoadConst is the value-prediction profile of every load executed
+	// inside at least one loop.
+	LoadConst map[*ir.Instr]*ConstInfo
+	// CarriedReads profiles the carried occurrences of loads, per loop.
+	CarriedReads map[*ir.Loop]map[*ir.Instr]*CarriedReadInfo
+	// Contexts records, per allocation site, the distinct dynamic contexts
+	// in which it allocated (reporting only).
+	Contexts map[Object]map[string]int64
+	// BlockRuns counts executions of every basic block, for control
+	// speculation: blocks never executed during training are speculated
+	// unreachable and guarded with misspec at transform time.
+	BlockRuns map[*ir.Block]int64
+	// Steps is the whole-program dynamic instruction count.
+	Steps int64
+}
+
+// IsShortLived implements Profile.isShortLived(o, L) from Algorithm 1: true
+// if o allocated inside L, never outlived an iteration, and was never
+// accessed outside the iteration that allocated it.
+func (p *Profile) IsShortLived(o Object, l *ir.Loop) bool {
+	return p.AllocatedIn[l][o] && !p.ShortLivedViolations[l][o]
+}
+
+// MapPointerToObjects implements Profile.mapPointerToObjects(p) from
+// Algorithm 2 for the address operand of instruction in.
+func (p *Profile) MapPointerToObjects(in *ir.Instr) ObjectSet {
+	return p.PointsTo[in]
+}
+
+// HotLoops returns loops sorted by descending execution-time share,
+// filtering out loops that never iterated.
+func (p *Profile) HotLoops() []*LoopInfo {
+	var infos []*LoopInfo
+	for _, l := range p.AllLoops {
+		if li := p.Loops[l]; li != nil && li.Iterations > 0 {
+			infos = append(infos, li)
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Steps != infos[j].Steps {
+			return infos[i].Steps > infos[j].Steps
+		}
+		return infos[i].Loop.String() < infos[j].Loop.String()
+	})
+	return infos
+}
+
+// loopInst is one dynamic activation of a loop.
+type loopInst struct {
+	loop  *ir.Loop
+	depth int
+	iter  int64
+	// writes maps byte address to the last write in this invocation.
+	writes map[uint64]writeRec
+	// liveAllocs maps objects allocated during the current invocation to
+	// the iteration that allocated them.
+	liveAllocs map[uint64]allocRec
+}
+
+type writeRec struct {
+	iter  int64
+	instr *ir.Instr
+}
+
+type allocRec struct {
+	iter int64
+	obj  Object
+}
+
+// Profiler instruments an interpreter and accumulates a Profile.
+type Profiler struct {
+	prof *Profile
+
+	loopsByHeader map[*ir.Block]*ir.Loop
+	loopsOf       map[*ir.Block][]*ir.Loop // innermost-first
+
+	objects  intervalmap.Map[Object]
+	stack    []*loopInst
+	depIndex map[*ir.Loop]map[[2]*ir.Instr]*Dep
+}
+
+// NewProfiler prepares a profiler for mod, computing loop structure for
+// every function.
+func NewProfiler(mod *ir.Module) *Profiler {
+	p := &Profiler{
+		prof: &Profile{
+			Mod:                  mod,
+			Loops:                map[*ir.Loop]*LoopInfo{},
+			PointsTo:             map[*ir.Instr]ObjectSet{},
+			CarriedFlow:          map[*ir.Loop][]*Dep{},
+			ShortLivedViolations: map[*ir.Loop]ObjectSet{},
+			AllocatedIn:          map[*ir.Loop]ObjectSet{},
+			LoadConst:            map[*ir.Instr]*ConstInfo{},
+			CarriedReads:         map[*ir.Loop]map[*ir.Instr]*CarriedReadInfo{},
+			Contexts:             map[Object]map[string]int64{},
+			BlockRuns:            map[*ir.Block]int64{},
+		},
+		loopsByHeader: map[*ir.Block]*ir.Loop{},
+		loopsOf:       map[*ir.Block][]*ir.Loop{},
+		depIndex:      map[*ir.Loop]map[[2]*ir.Instr]*Dep{},
+	}
+	for _, f := range mod.SortedFuncs() {
+		f.Recompute()
+		dt := ir.BuildDomTree(f)
+		loops := ir.FindLoops(f, dt)
+		for _, l := range loops {
+			p.loopsByHeader[l.Header] = l
+			p.prof.AllLoops = append(p.prof.AllLoops, l)
+			p.prof.Loops[l] = &LoopInfo{Loop: l}
+			p.prof.ShortLivedViolations[l] = ObjectSet{}
+			p.prof.AllocatedIn[l] = ObjectSet{}
+			p.depIndex[l] = map[[2]*ir.Instr]*Dep{}
+			p.prof.CarriedReads[l] = map[*ir.Instr]*CarriedReadInfo{}
+			for _, b := range l.Blocks {
+				p.loopsOf[b] = append(p.loopsOf[b], l)
+			}
+		}
+		// Innermost (deepest) first.
+		for _, lst := range p.loopsOf {
+			sort.Slice(lst, func(i, j int) bool { return lst[i].Depth > lst[j].Depth })
+		}
+	}
+	return p
+}
+
+// Attach installs profiling hooks on it. The interpreter must execute the
+// same module the profiler was built for.
+func (p *Profiler) Attach(it *interp.Interp) error {
+	if err := it.LayOutGlobals(); err != nil {
+		return err
+	}
+	for _, name := range it.Mod.GlobalNames() {
+		g := it.Mod.Globals[name]
+		addr := it.GlobalAddr(g)
+		p.objects.Insert(addr, addr+uint64(g.Size), Object{Global: g})
+	}
+	it.Hooks.OnBlock = p.onBlock
+	it.Hooks.OnEnter = p.onEnter
+	it.Hooks.OnExit = p.onExit
+	it.Hooks.OnLoad = p.onLoad
+	it.Hooks.OnStore = p.onStore
+	it.Hooks.OnAlloc = p.onAlloc
+	it.Hooks.OnFree = p.onFree
+	return nil
+}
+
+// Profile finalizes and returns the accumulated profile.
+func (p *Profiler) Profile(steps int64) *Profile {
+	for l, idx := range p.depIndex {
+		var deps []*Dep
+		for _, d := range idx {
+			deps = append(deps, d)
+		}
+		sort.Slice(deps, func(i, j int) bool {
+			if deps[i].Count != deps[j].Count {
+				return deps[i].Count > deps[j].Count
+			}
+			return deps[i].Object.String() < deps[j].Object.String()
+		})
+		p.prof.CarriedFlow[l] = deps
+	}
+	p.prof.Steps = steps
+	return p.prof
+}
+
+// Run profiles mod end-to-end on a fresh address space: it interprets the
+// entry function with args under full instrumentation and returns the
+// profile.
+func Run(mod *ir.Module, args ...uint64) (*Profile, error) {
+	p := NewProfiler(mod)
+	it := interp.New(mod, vm.NewAddressSpace())
+	if err := p.Attach(it); err != nil {
+		return nil, err
+	}
+	if _, err := it.Run(args...); err != nil {
+		return nil, fmt.Errorf("profiling run: %w", err)
+	}
+	return p.Profile(it.Steps), nil
+}
+
+func (p *Profiler) context(fr *interp.Frame) string {
+	var parts []string
+	for f := fr; f != nil; f = f.Caller {
+		parts = append(parts, f.Fn.Name)
+	}
+	// Reverse to outermost-first.
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, ">")
+}
+
+func (p *Profiler) onEnter(fr *interp.Frame) {
+	p.prof.BlockRuns[fr.Fn.Entry()]++
+}
+
+func (p *Profiler) onBlock(fr *interp.Frame, from, to *ir.Block) {
+	p.prof.BlockRuns[to]++
+	// Pop loop instances of this frame that do not contain the target.
+	for len(p.stack) > 0 {
+		top := p.stack[len(p.stack)-1]
+		if top.depth != fr.Depth || top.loop.Contains(to) {
+			break
+		}
+		p.popInstance(top)
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+	// Entering a header: either a back edge (iteration) or a fresh
+	// invocation.
+	if l := p.loopsByHeader[to]; l != nil {
+		top := p.topFor(fr.Depth)
+		if top != nil && top.loop == l {
+			if l.Contains(from) {
+				p.iterBoundary(top)
+				top.iter++
+				p.prof.Loops[l].Iterations++
+			}
+			// A jump to the header from outside while the instance is
+			// active cannot happen in reducible CFGs.
+		} else {
+			inst := &loopInst{
+				loop:       l,
+				depth:      fr.Depth,
+				writes:     map[uint64]writeRec{},
+				liveAllocs: map[uint64]allocRec{},
+			}
+			p.stack = append(p.stack, inst)
+			li := p.prof.Loops[l]
+			li.Invocations++
+			li.Iterations++
+		}
+	}
+	// Execution-time profile: attribute the target block's work to every
+	// active loop.
+	cost := int64(len(to.Instrs))
+	for _, inst := range p.stack {
+		p.prof.Loops[inst.loop].Steps += cost
+	}
+}
+
+func (p *Profiler) topFor(depth int) *loopInst {
+	if len(p.stack) == 0 {
+		return nil
+	}
+	top := p.stack[len(p.stack)-1]
+	if top.depth != depth {
+		return nil
+	}
+	return top
+}
+
+// iterBoundary handles end-of-iteration bookkeeping for inst: objects still
+// live that were allocated during the finished iteration violate the
+// short-lived property.
+func (p *Profiler) iterBoundary(inst *loopInst) {
+	for addr, rec := range inst.liveAllocs {
+		if rec.iter <= inst.iter {
+			p.prof.ShortLivedViolations[inst.loop].Add(rec.obj)
+			delete(inst.liveAllocs, addr)
+		}
+	}
+}
+
+func (p *Profiler) popInstance(inst *loopInst) {
+	// Anything still live at loop exit outlived its iteration.
+	for _, rec := range inst.liveAllocs {
+		p.prof.ShortLivedViolations[inst.loop].Add(rec.obj)
+	}
+}
+
+func (p *Profiler) onExit(fr *interp.Frame) {
+	for len(p.stack) > 0 {
+		top := p.stack[len(p.stack)-1]
+		if top.depth < fr.Depth {
+			break
+		}
+		p.popInstance(top)
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+}
+
+func (p *Profiler) resolve(addr uint64) Object {
+	o, _ := p.objects.Lookup(addr)
+	return o
+}
+
+func (p *Profiler) recordPointsTo(in *ir.Instr, o Object) {
+	if o.IsZero() {
+		return
+	}
+	set := p.prof.PointsTo[in]
+	if set == nil {
+		set = ObjectSet{}
+		p.prof.PointsTo[in] = set
+	}
+	set.Add(o)
+}
+
+func (p *Profiler) onLoad(fr *interp.Frame, in *ir.Instr, addr uint64, size int64) {
+	obj := p.resolve(addr)
+	p.recordPointsTo(in, obj)
+	// Value-prediction profile: only meaningful inside loops.
+	if len(p.stack) > 0 && in.Op == ir.OpLoad {
+		ci := p.prof.LoadConst[in]
+		val := fr.Value(in)
+		if ci == nil {
+			p.prof.LoadConst[in] = &ConstInfo{Value: val, Stable: true, Count: 1}
+		} else {
+			ci.Count++
+			if ci.Value != val {
+				ci.Stable = false
+			}
+		}
+	}
+	for _, inst := range p.stack {
+		// Flow-dependence profile at byte granularity.
+		carried := false
+		for b := addr; b < addr+uint64(size); b++ {
+			if wr, ok := inst.writes[b]; ok && wr.iter < inst.iter {
+				p.recordDep(inst.loop, wr.instr, in, obj)
+				carried = true
+			}
+		}
+		if carried {
+			p.recordCarriedRead(inst.loop, in, addr, size, fr.Value(in), obj)
+		}
+		// Short-lived property: accessing an object of a site that
+		// allocates inside this loop, outside the iteration that
+		// allocated it, is a violation.
+		p.checkAccessLifetime(inst, addr, obj)
+	}
+}
+
+// recordCarriedRead updates the value-prediction profile of a carried read
+// occurrence.
+func (p *Profiler) recordCarriedRead(l *ir.Loop, in *ir.Instr, addr uint64, size int64, val uint64, obj Object) {
+	m := p.prof.CarriedReads[l]
+	if m == nil {
+		return
+	}
+	ci := m[in]
+	if ci == nil {
+		var off uint64
+		if lo, _, ok := p.objects.Bounds(addr); ok {
+			off = addr - lo
+		}
+		m[in] = &CarriedReadInfo{
+			Addr: addr, Value: val, Size: size, Object: obj, Offset: off,
+			Stable: true, Count: 1,
+		}
+		return
+	}
+	ci.Count++
+	if ci.Addr != addr || ci.Value != val {
+		ci.Stable = false
+	}
+}
+
+func (p *Profiler) onStore(fr *interp.Frame, in *ir.Instr, addr uint64, size int64) {
+	obj := p.resolve(addr)
+	p.recordPointsTo(in, obj)
+	for _, inst := range p.stack {
+		for b := addr; b < addr+uint64(size); b++ {
+			inst.writes[b] = writeRec{iter: inst.iter, instr: in}
+		}
+		p.checkAccessLifetime(inst, addr, obj)
+	}
+}
+
+// checkAccessLifetime flags short-lived violations: the object is from a
+// site that allocates within inst's loop, but this access is to an instance
+// not allocated in the current iteration.
+func (p *Profiler) checkAccessLifetime(inst *loopInst, addr uint64, obj Object) {
+	if obj.IsZero() || obj.Global != nil {
+		return
+	}
+	lo, _, ok := p.objects.Bounds(addr)
+	if !ok {
+		return
+	}
+	if rec, live := inst.liveAllocs[lo]; live {
+		if rec.iter != inst.iter {
+			// Covered by iterBoundary, but double-check cheaply.
+			p.prof.ShortLivedViolations[inst.loop].Add(obj)
+		}
+		return
+	}
+	// Accessed inside the loop without having been allocated in the
+	// current iteration: if this site ever allocates inside the loop, the
+	// site cannot be short-lived.
+	if p.prof.AllocatedIn[inst.loop][obj] {
+		p.prof.ShortLivedViolations[inst.loop].Add(obj)
+	}
+}
+
+func (p *Profiler) recordDep(l *ir.Loop, src, dst *ir.Instr, obj Object) {
+	key := [2]*ir.Instr{src, dst}
+	d := p.depIndex[l][key]
+	if d == nil {
+		d = &Dep{Src: src, Dst: dst, Object: obj}
+		p.depIndex[l][key] = d
+	}
+	d.Count++
+}
+
+func (p *Profiler) onAlloc(fr *interp.Frame, in *ir.Instr, addr, size uint64) {
+	obj := Object{Site: in}
+	p.objects.Insert(addr, addr+size, obj)
+	ctx := p.context(fr)
+	cm := p.prof.Contexts[obj]
+	if cm == nil {
+		cm = map[string]int64{}
+		p.prof.Contexts[obj] = cm
+	}
+	cm[ctx]++
+	for _, inst := range p.stack {
+		p.prof.AllocatedIn[inst.loop].Add(obj)
+		inst.liveAllocs[addr] = allocRec{iter: inst.iter, obj: obj}
+	}
+}
+
+func (p *Profiler) onFree(fr *interp.Frame, in *ir.Instr, addr uint64) {
+	obj, ok := p.objects.Remove(addr)
+	if !ok {
+		return
+	}
+	if in != nil {
+		p.recordPointsTo(in, obj)
+	}
+	for _, inst := range p.stack {
+		if rec, live := inst.liveAllocs[addr]; live {
+			if rec.iter != inst.iter {
+				p.prof.ShortLivedViolations[inst.loop].Add(obj)
+			}
+			delete(inst.liveAllocs, addr)
+		} else if p.prof.AllocatedIn[inst.loop][obj] {
+			// Freed inside the loop, but allocated before this
+			// invocation: outlived an iteration.
+			p.prof.ShortLivedViolations[inst.loop].Add(obj)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package progs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"privateer/internal/ir"
+)
+
+// alvinn network dimensions: derived from the input's N (patterns); the
+// layer sizes are fixed, matching the shape (not the scale) of SPEC
+// 052.alvinn's road-following network.
+const (
+	alvinnIn  = 24
+	alvinnHid = 12
+	alvinnOut = 6
+)
+
+// alvinnData generates the training patterns, targets and initial weights.
+func alvinnData(patterns int64, seed uint64) (inputs, targets, w1, w2 []float64) {
+	r := newLCG(seed)
+	inputs = make([]float64, patterns*alvinnIn)
+	targets = make([]float64, patterns*alvinnOut)
+	w1 = make([]float64, alvinnIn*alvinnHid)
+	w2 = make([]float64, alvinnHid*alvinnOut)
+	for i := range inputs {
+		inputs[i] = r.float01()
+	}
+	for i := range targets {
+		targets[i] = 0.1 + 0.8*r.float01()
+	}
+	for i := range w1 {
+		w1[i] = 0.2*r.float01() - 0.1
+	}
+	for i := range w2 {
+		w2[i] = 0.2*r.float01() - 0.1
+	}
+	return
+}
+
+// Alvinn is the SPEC 052.alvinn-style backpropagation trainer. The hot loop
+// iterates over training patterns; each iteration reuses four arrays
+// (activations and deltas) that live outside the loop and are passed by
+// reference to callees — the pointer arithmetic that defeats static
+// privatization. Weight-gradient accumulations and the total error are
+// reductions. The loop is invoked once per epoch (many invocations, as in
+// Table 3), with the sequential weight update between invocations.
+//
+// Per the substitution table in DESIGN.md, the paper's scalar local
+// reduction is realized as a global accumulator: register-carried
+// reductions are outside DOALL's scalar constraints in this reproduction.
+//
+// Input: N = patterns, M = epochs.
+func Alvinn() *Program {
+	return &Program{
+		Name: "052.alvinn",
+		Description: "backpropagation training; four reused activation/delta " +
+			"arrays (private), two array reductions and one scalar reduction",
+		Build:       buildAlvinn,
+		Reference:   refAlvinn,
+		FloatResult: true,
+		Train:       Input{Name: "train", N: 24, M: 2},
+		Ref:         Input{Name: "ref", N: 192, M: 8},
+		Alt:         Input{Name: "alt", N: 32, M: 3},
+	}
+}
+
+func buildAlvinn(in Input) *ir.Module {
+	patterns, epochs := in.N, in.M
+	inputs, targets, w1v, w2v := alvinnData(patterns, 1313)
+
+	m := ir.NewModule("alvinn")
+	gIn := m.NewGlobal("inputs", patterns*alvinnIn*8)
+	gIn.Init = f64Init(inputs)
+	gTgt := m.NewGlobal("targets", patterns*alvinnOut*8)
+	gTgt.Init = f64Init(targets)
+	gW1 := m.NewGlobal("w1", alvinnIn*alvinnHid*8)
+	gW1.Init = f64Init(w1v)
+	gW2 := m.NewGlobal("w2", alvinnHid*alvinnOut*8)
+	gW2.Init = f64Init(w2v)
+	gDW1 := m.NewGlobal("sumdw1", alvinnIn*alvinnHid*8)
+	gDW2 := m.NewGlobal("sumdw2", alvinnHid*alvinnOut*8)
+	gErr := m.NewGlobal("toterr", 8)
+
+	// sigmoid(x) = 1 / (1 + exp(-x)): branch-free, so the region needs no
+	// control speculation (alvinn's Extras column is empty).
+	sig := m.NewFunc("sigmoid", ir.F64)
+	sx := sig.NewParam("x", ir.F64)
+	{
+		b := ir.NewBuilder(sig)
+		b.Ret(b.FDiv(b.Flt(1), b.FAdd(b.Flt(1), b.Builtin("exp", ir.F64, b.FSub(b.Flt(0), sx)))))
+	}
+
+	// train_one(p, hidden, out, odelta, hdelta): forward + backward pass
+	// for one pattern, accumulating gradients into the reduction arrays.
+	// The scratch arrays arrive as pointers (address arithmetic through
+	// callees, as in the original program).
+	trainOne := m.NewFunc("train_one", ir.Void)
+	pP := trainOne.NewParam("p", ir.I64)
+	pHid := trainOne.NewParam("hidden", ir.Ptr)
+	pOut := trainOne.NewParam("out", ir.Ptr)
+	pOD := trainOne.NewParam("odelta", ir.Ptr)
+	pHD := trainOne.NewParam("hdelta", ir.Ptr)
+	{
+		b := ir.NewBuilder(trainOne)
+		inBase := b.Add(b.Global(gIn), b.Mul(pP, b.I(alvinnIn*8)))
+		tgtBase := b.Add(b.Global(gTgt), b.Mul(pP, b.I(alvinnOut*8)))
+		// Forward: hidden layer.
+		b.For("j", b.I(0), b.I(alvinnHid), func(jv *ir.Instr) {
+			s := b.Local("s")
+			b.St(b.Flt(0), s)
+			b.For("i", b.I(0), b.I(alvinnIn), func(iv *ir.Instr) {
+				x := b.LoadF(b.Add(inBase, b.Mul(b.Ld(iv), b.I(8))))
+				w := b.LoadF(b.Add(b.Global(gW1),
+					b.Mul(b.Add(b.Mul(b.Ld(iv), b.I(alvinnHid)), b.Ld(jv)), b.I(8))))
+				b.St(b.FAdd(b.LdF(s), b.FMul(x, w)), s)
+			})
+			b.StoreF(b.Call(sig, b.LdF(s)), b.Add(pHid, b.Mul(b.Ld(jv), b.I(8))))
+		})
+		// Forward: output layer.
+		b.For("k", b.I(0), b.I(alvinnOut), func(kv *ir.Instr) {
+			s := b.Local("s2")
+			b.St(b.Flt(0), s)
+			b.For("j", b.I(0), b.I(alvinnHid), func(jv *ir.Instr) {
+				h := b.LoadF(b.Add(pHid, b.Mul(b.Ld(jv), b.I(8))))
+				w := b.LoadF(b.Add(b.Global(gW2),
+					b.Mul(b.Add(b.Mul(b.Ld(jv), b.I(alvinnOut)), b.Ld(kv)), b.I(8))))
+				b.St(b.FAdd(b.LdF(s), b.FMul(h, w)), s)
+			})
+			b.StoreF(b.Call(sig, b.LdF(s)), b.Add(pOut, b.Mul(b.Ld(kv), b.I(8))))
+		})
+		// Output deltas and the total-error reduction.
+		b.For("k2", b.I(0), b.I(alvinnOut), func(kv *ir.Instr) {
+			o := b.LoadF(b.Add(pOut, b.Mul(b.Ld(kv), b.I(8))))
+			tgt := b.LoadF(b.Add(tgtBase, b.Mul(b.Ld(kv), b.I(8))))
+			diff := b.FSub(tgt, o)
+			delta := b.FMul(diff, b.FMul(o, b.FSub(b.Flt(1), o)))
+			b.StoreF(delta, b.Add(pOD, b.Mul(b.Ld(kv), b.I(8))))
+			errAddr := b.Global(gErr)
+			b.StoreF(b.FAdd(b.LoadF(errAddr), b.FMul(diff, diff)), errAddr)
+		})
+		// Hidden deltas.
+		b.For("j2", b.I(0), b.I(alvinnHid), func(jv *ir.Instr) {
+			e := b.Local("e")
+			b.St(b.Flt(0), e)
+			b.For("k3", b.I(0), b.I(alvinnOut), func(kv *ir.Instr) {
+				od := b.LoadF(b.Add(pOD, b.Mul(b.Ld(kv), b.I(8))))
+				w := b.LoadF(b.Add(b.Global(gW2),
+					b.Mul(b.Add(b.Mul(b.Ld(jv), b.I(alvinnOut)), b.Ld(kv)), b.I(8))))
+				b.St(b.FAdd(b.LdF(e), b.FMul(od, w)), e)
+			})
+			h := b.LoadF(b.Add(pHid, b.Mul(b.Ld(jv), b.I(8))))
+			b.StoreF(b.FMul(b.LdF(e), b.FMul(h, b.FSub(b.Flt(1), h))),
+				b.Add(pHD, b.Mul(b.Ld(jv), b.I(8))))
+		})
+		// Gradient reductions.
+		b.For("i2", b.I(0), b.I(alvinnIn), func(iv *ir.Instr) {
+			x := b.LoadF(b.Add(inBase, b.Mul(b.Ld(iv), b.I(8))))
+			b.For("j3", b.I(0), b.I(alvinnHid), func(jv *ir.Instr) {
+				hd := b.LoadF(b.Add(pHD, b.Mul(b.Ld(jv), b.I(8))))
+				slot := b.Add(b.Global(gDW1),
+					b.Mul(b.Add(b.Mul(b.Ld(iv), b.I(alvinnHid)), b.Ld(jv)), b.I(8)))
+				b.StoreF(b.FAdd(b.LoadF(slot), b.FMul(x, hd)), slot)
+			})
+		})
+		b.For("j4", b.I(0), b.I(alvinnHid), func(jv *ir.Instr) {
+			h := b.LoadF(b.Add(pHid, b.Mul(b.Ld(jv), b.I(8))))
+			b.For("k4", b.I(0), b.I(alvinnOut), func(kv *ir.Instr) {
+				od := b.LoadF(b.Add(pOD, b.Mul(b.Ld(kv), b.I(8))))
+				slot := b.Add(b.Global(gDW2),
+					b.Mul(b.Add(b.Mul(b.Ld(jv), b.I(alvinnOut)), b.Ld(kv)), b.I(8)))
+				b.StoreF(b.FAdd(b.LoadF(slot), b.FMul(h, od)), slot)
+			})
+		})
+		b.Ret()
+	}
+
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	// The four reused scratch arrays live in main's frame, outside the hot
+	// loop: the paper's four privatized stack allocations.
+	hidden := b.Alloca("hidden_act", alvinnHid*8)
+	out := b.Alloca("out_act", alvinnOut*8)
+	odelta := b.Alloca("out_delta", alvinnOut*8)
+	hdelta := b.Alloca("hid_delta", alvinnHid*8)
+	b.For("epoch", b.I(0), b.I(epochs), func(_ *ir.Instr) {
+		// The hot loop: one parallel invocation per epoch.
+		b.For("p", b.I(0), b.I(patterns), func(pv *ir.Instr) {
+			b.Call(trainOne, b.Ld(pv), hidden, out, odelta, hdelta)
+		})
+		// Sequential weight update between invocations.
+		lr := b.Flt(0.1 / float64(patterns))
+		b.For("u1", b.I(0), b.I(alvinnIn*alvinnHid), func(uv *ir.Instr) {
+			w := b.Add(b.Global(gW1), b.Mul(b.Ld(uv), b.I(8)))
+			d := b.Add(b.Global(gDW1), b.Mul(b.Ld(uv), b.I(8)))
+			b.StoreF(b.FAdd(b.LoadF(w), b.FMul(lr, b.LoadF(d))), w)
+			b.StoreF(b.Flt(0), d)
+		})
+		b.For("u2", b.I(0), b.I(alvinnHid*alvinnOut), func(uv *ir.Instr) {
+			w := b.Add(b.Global(gW2), b.Mul(b.Ld(uv), b.I(8)))
+			d := b.Add(b.Global(gDW2), b.Mul(b.Ld(uv), b.I(8)))
+			b.StoreF(b.FAdd(b.LoadF(w), b.FMul(lr, b.LoadF(d))), w)
+			b.StoreF(b.Flt(0), d)
+		})
+	})
+	b.Print("total error %g\n", b.LoadF(b.Global(gErr)))
+	b.Ret(b.LoadF(b.Global(gErr)))
+	finishModule(m)
+	return m
+}
+
+func refAlvinn(in Input) (uint64, string) {
+	patterns, epochs := in.N, in.M
+	inputs, targets, w1, w2 := alvinnData(patterns, 1313)
+	sumdw1 := make([]float64, alvinnIn*alvinnHid)
+	sumdw2 := make([]float64, alvinnHid*alvinnOut)
+	hidden := make([]float64, alvinnHid)
+	out := make([]float64, alvinnOut)
+	odelta := make([]float64, alvinnOut)
+	hdelta := make([]float64, alvinnHid)
+	toterr := 0.0
+	sigmoid := func(x float64) float64 { return 1 / (1 + math.Exp(0-x)) }
+	for e := int64(0); e < epochs; e++ {
+		for p := int64(0); p < patterns; p++ {
+			inBase := p * alvinnIn
+			tgtBase := p * alvinnOut
+			for j := 0; j < alvinnHid; j++ {
+				s := 0.0
+				for i := 0; i < alvinnIn; i++ {
+					s += inputs[inBase+int64(i)] * w1[i*alvinnHid+j]
+				}
+				hidden[j] = sigmoid(s)
+			}
+			for k := 0; k < alvinnOut; k++ {
+				s := 0.0
+				for j := 0; j < alvinnHid; j++ {
+					s += hidden[j] * w2[j*alvinnOut+k]
+				}
+				out[k] = sigmoid(s)
+			}
+			for k := 0; k < alvinnOut; k++ {
+				diff := targets[tgtBase+int64(k)] - out[k]
+				odelta[k] = diff * (out[k] * (1 - out[k]))
+				toterr += diff * diff
+			}
+			for j := 0; j < alvinnHid; j++ {
+				ev := 0.0
+				for k := 0; k < alvinnOut; k++ {
+					ev += odelta[k] * w2[j*alvinnOut+k]
+				}
+				hdelta[j] = ev * (hidden[j] * (1 - hidden[j]))
+			}
+			for i := 0; i < alvinnIn; i++ {
+				for j := 0; j < alvinnHid; j++ {
+					sumdw1[i*alvinnHid+j] += inputs[inBase+int64(i)] * hdelta[j]
+				}
+			}
+			for j := 0; j < alvinnHid; j++ {
+				for k := 0; k < alvinnOut; k++ {
+					sumdw2[j*alvinnOut+k] += hidden[j] * odelta[k]
+				}
+			}
+		}
+		lr := 0.1 / float64(patterns)
+		for i := range w1 {
+			w1[i] += lr * sumdw1[i]
+			sumdw1[i] = 0
+		}
+		for i := range w2 {
+			w2[i] += lr * sumdw2[i]
+			sumdw2[i] = 0
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total error %g\n", toterr)
+	return f2b(toterr), sb.String()
+}

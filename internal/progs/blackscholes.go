@@ -1,0 +1,220 @@
+package progs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"privateer/internal/ir"
+)
+
+// blackscholesData generates option parameters: spot, strike, rate, vol,
+// time and type (0 = call, 1 = put).
+func blackscholesData(n int64, seed uint64) (spot, strike, rate, vol, otime []float64, otype []int64) {
+	r := newLCG(seed)
+	spot = make([]float64, n)
+	strike = make([]float64, n)
+	rate = make([]float64, n)
+	vol = make([]float64, n)
+	otime = make([]float64, n)
+	otype = make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		spot[i] = 50 + 100*r.float01()
+		strike[i] = 50 + 100*r.float01()
+		rate[i] = 0.01 + 0.09*r.float01()
+		vol[i] = 0.05 + 0.55*r.float01()
+		otime[i] = 0.1 + 2.0*r.float01()
+		otype[i] = int64(r.intn(2))
+	}
+	return
+}
+
+// Blackscholes is the PARSEC option-pricing benchmark. The inner loop over
+// options is embarrassingly parallel (and the static DOALL-only baseline can
+// prove it), but the hotter outer loop over runs is blocked by output
+// dependences on the pricing array — which is allocated in a different
+// function and reached through a global pointer. Privateer privatizes the
+// array and value-predicts the per-run error flag.
+//
+// Input: N = option count, M = runs (K unused).
+func Blackscholes() *Program {
+	return &Program{
+		Name: "blackscholes",
+		Description: "option pricing; pricing array allocated elsewhere " +
+			"(private), per-run error flag (value prediction)",
+		Build:       buildBlackscholes,
+		Reference:   refBlackscholes,
+		FloatResult: true,
+		Train:       Input{Name: "train", N: 48, M: 3},
+		Ref:         Input{Name: "ref", N: 768, M: 48},
+		Alt:         Input{Name: "alt", N: 80, M: 5},
+	}
+}
+
+func buildBlackscholes(in Input) *ir.Module {
+	n, runs := in.N, in.M
+	spot, strike, rate, vol, otime, otype := blackscholesData(n, 777)
+
+	m := ir.NewModule("blackscholes")
+	gSpot := m.NewGlobal("sptprice", n*8)
+	gSpot.Init = f64Init(spot)
+	gStrike := m.NewGlobal("strike", n*8)
+	gStrike.Init = f64Init(strike)
+	gRate := m.NewGlobal("rate", n*8)
+	gRate.Init = f64Init(rate)
+	gVol := m.NewGlobal("volatility", n*8)
+	gVol.Init = f64Init(vol)
+	gTime := m.NewGlobal("otime", n*8)
+	gTime.Init = f64Init(otime)
+	gType := m.NewGlobal("otype", n*8)
+	gType.Init = i64Init(otype)
+	gPrices := m.NewGlobal("prices_ptr", 8)
+	gErr := m.NewGlobal("chkerr", 8)
+
+	// CNDF(x): cumulative normal distribution (Abramowitz-Stegun
+	// polynomial, as PARSEC uses).
+	cndf := m.NewFunc("CNDF", ir.F64)
+	x0 := cndf.NewParam("x", ir.F64)
+	{
+		b := ir.NewBuilder(cndf)
+		sign := b.FLt(x0, b.Flt(0))
+		x := b.Builtin("fabs", ir.F64, x0)
+		k := b.FDiv(b.Flt(1), b.FAdd(b.Flt(1), b.FMul(b.Flt(0.2316419), x)))
+		poly := b.Flt(1.330274429)
+		poly = b.FAdd(b.Flt(-1.821255978), b.FMul(k, poly))
+		poly = b.FAdd(b.Flt(1.781477937), b.FMul(k, poly))
+		poly = b.FAdd(b.Flt(-0.356563782), b.FMul(k, poly))
+		poly = b.FAdd(b.Flt(0.319381530), b.FMul(k, poly))
+		poly = b.FMul(k, poly)
+		expTerm := b.Builtin("exp", ir.F64, b.FMul(b.Flt(-0.5), b.FMul(x, x)))
+		nd := b.FSub(b.Flt(1), b.FMul(b.FMul(b.Flt(0.3989422804014327), expTerm), poly))
+		res := b.Select(sign, b.FSub(b.Flt(1), nd), nd)
+		b.Ret(res)
+	}
+
+	// BlkSchls(spot, strike, rate, vol, time, otype) -> price.
+	bs := m.NewFunc("BlkSchlsEqEuroNoDiv", ir.F64)
+	pS := bs.NewParam("s", ir.F64)
+	pK := bs.NewParam("k", ir.F64)
+	pR := bs.NewParam("r", ir.F64)
+	pV := bs.NewParam("v", ir.F64)
+	pT := bs.NewParam("t", ir.F64)
+	pO := bs.NewParam("o", ir.I64)
+	{
+		b := ir.NewBuilder(bs)
+		sqrtT := b.Builtin("sqrt", ir.F64, pT)
+		d1 := b.FDiv(
+			b.FAdd(b.Builtin("log", ir.F64, b.FDiv(pS, pK)),
+				b.FMul(b.FAdd(pR, b.FMul(b.Flt(0.5), b.FMul(pV, pV))), pT)),
+			b.FMul(pV, sqrtT))
+		d2 := b.FSub(d1, b.FMul(pV, sqrtT))
+		disc := b.Builtin("exp", ir.F64, b.FMul(b.FSub(b.Flt(0), pR), pT))
+		call := b.FSub(b.FMul(pS, b.Call(cndf, d1)),
+			b.FMul(b.FMul(pK, disc), b.Call(cndf, d2)))
+		put := b.FSub(b.FMul(b.FMul(pK, disc), b.Call(cndf, b.FSub(b.Flt(0), d2))),
+			b.FMul(pS, b.Call(cndf, b.FSub(b.Flt(0), d1))))
+		b.Ret(b.Select(b.Eq(pO, b.I(0)), call, put))
+	}
+
+	// setup(): the pricing array is allocated in a different function and
+	// published through a global pointer, defeating layout-sensitive
+	// privatization schemes.
+	setup := m.NewFunc("setup", ir.Void)
+	{
+		b := ir.NewBuilder(setup)
+		prices := b.Malloc("prices", b.I(n*8))
+		b.Store(prices, b.Global(gPrices), 8)
+		b.Ret()
+	}
+
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Call(setup)
+	b.For("run", b.I(0), b.I(runs), func(rv *ir.Instr) {
+		// The previous run's error flag: read-before-write each iteration
+		// (carried, stably zero -> value prediction).
+		b.If(b.Ne(b.Load(b.Global(gErr), 8), b.I(0)), func() {
+			b.Print("pricing error in run %d\n", b.Ld(rv))
+		}, nil)
+		prices := b.LoadPtr(b.Global(gPrices))
+		// The pricing loop itself is pure (the shape the DOALL-only
+		// baseline can prove independent, as in the paper).
+		b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+			off := b.Mul(b.Ld(iv), b.I(8))
+			price := b.Call(bs,
+				b.LoadF(b.Add(b.Global(gSpot), off)),
+				b.LoadF(b.Add(b.Global(gStrike), off)),
+				b.LoadF(b.Add(b.Global(gRate), off)),
+				b.LoadF(b.Add(b.Global(gVol), off)),
+				b.LoadF(b.Add(b.Global(gTime), off)),
+				b.Load(b.Add(b.Global(gType), off), 8))
+			b.StoreF(price, b.Add(prices, off))
+		})
+		// Error scan after the pricing loop (PARSEC's ERRCHK phase).
+		b.For("e", b.I(0), b.I(n), func(ev *ir.Instr) {
+			pv := b.LoadF(b.Add(prices, b.Mul(b.Ld(ev), b.I(8))))
+			b.If(b.FLt(pv, b.Flt(0)), func() {
+				b.Store(b.I(1), b.Global(gErr), 8) // never happens
+			}, nil)
+		})
+		b.Store(b.I(0), b.Global(gErr), 8)
+	})
+	// Deterministic checksum outside the parallel region.
+	acc := b.Local("acc")
+	b.St(b.Flt(0), acc)
+	prices := b.LoadPtr(b.Global(gPrices))
+	b.For("j", b.I(0), b.I(n), func(jv *ir.Instr) {
+		b.St(b.FAdd(b.LdF(acc), b.LoadF(b.Add(prices, b.Mul(b.Ld(jv), b.I(8))))), acc)
+	})
+	b.Print("checksum %g\n", b.LdF(acc))
+	b.Ret(b.LdF(acc))
+	finishModule(m)
+	return m
+}
+
+// refCNDF mirrors the IR CNDF with identical operation order.
+func refCNDF(x float64) float64 {
+	sign := x < 0
+	x = math.Abs(x)
+	k := 1 / (1 + 0.2316419*x)
+	poly := 1.330274429
+	poly = -1.821255978 + k*poly
+	poly = 1.781477937 + k*poly
+	poly = -0.356563782 + k*poly
+	poly = 0.319381530 + k*poly
+	poly = k * poly
+	nd := 1 - (0.3989422804014327*math.Exp(-0.5*x*x))*poly
+	if sign {
+		return 1 - nd
+	}
+	return nd
+}
+
+func refBlkSchls(s, k, r, v, t float64, o int64) float64 {
+	sqrtT := math.Sqrt(t)
+	d1 := (math.Log(s/k) + (r+0.5*(v*v))*t) / (v * sqrtT)
+	d2 := d1 - v*sqrtT
+	disc := math.Exp((0 - r) * t)
+	if o == 0 {
+		return s*refCNDF(d1) - (k*disc)*refCNDF(d2)
+	}
+	return (k*disc)*refCNDF(0-d2) - s*refCNDF(0-d1)
+}
+
+func refBlackscholes(in Input) (uint64, string) {
+	n, runs := in.N, in.M
+	spot, strike, rate, vol, otime, otype := blackscholesData(n, 777)
+	prices := make([]float64, n)
+	for run := int64(0); run < runs; run++ {
+		for i := int64(0); i < n; i++ {
+			prices[i] = refBlkSchls(spot[i], strike[i], rate[i], vol[i], otime[i], otype[i])
+		}
+	}
+	acc := 0.0
+	for i := int64(0); i < n; i++ {
+		acc += prices[i]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "checksum %g\n", acc)
+	return f2b(acc), sb.String()
+}

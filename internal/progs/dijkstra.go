@@ -1,0 +1,177 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+
+	"privateer/internal/ir"
+)
+
+// dijkstraInf is the initial path cost.
+const dijkstraInf = int64(1) << 40
+
+// dijkstraAdj generates the adjacency matrix for n nodes.
+func dijkstraAdj(n int64, seed uint64) []int64 {
+	r := newLCG(seed)
+	adj := make([]int64, n*n)
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			if i == j {
+				adj[i*n+j] = 0
+			} else {
+				adj[i*n+j] = int64(1 + r.intn(100))
+			}
+		}
+	}
+	return adj
+}
+
+// Dijkstra is the MiBench-style shortest-path benchmark of Figure 2: the
+// outer loop runs Dijkstra's algorithm once per source node, reusing a
+// global linked-list work queue and a global path-cost table across
+// iterations. The reuse creates false dependences on every pair of
+// iterations; Privateer privatizes the queue header and table, places the
+// list nodes in the short-lived heap, value-predicts the empty queue at
+// iteration boundaries, control-speculates the underflow path, and defers
+// the per-source output.
+//
+// Input: N = node count (M, K unused).
+func Dijkstra() *Program {
+	return &Program{
+		Name: "dijkstra",
+		Description: "work-queue shortest paths; reused linked list + cost table " +
+			"(private), short-lived nodes, value prediction, control spec, deferred I/O",
+		Build:     buildDijkstra,
+		Reference: refDijkstra,
+		Train:     Input{Name: "train", N: 12},
+		Ref:       Input{Name: "ref", N: 72},
+		Alt:       Input{Name: "alt", N: 18},
+	}
+}
+
+func buildDijkstra(in Input) *ir.Module {
+	n := in.N
+	m := ir.NewModule("dijkstra")
+	adj := m.NewGlobal("adj", n*n*8)
+	adj.Init = i64Init(dijkstraAdj(n, 12345))
+	pathcost := m.NewGlobal("pathcost", n*8)
+	q := m.NewGlobal("Q", 16) // head@0, tail@8
+
+	// enqueueQ(v): append a node at the queue tail.
+	enq := m.NewFunc("enqueueQ", ir.Void)
+	vParam := enq.NewParam("v", ir.I64)
+	{
+		b := ir.NewBuilder(enq)
+		node := b.Malloc("node", b.I(16))
+		b.Store(vParam, node, 8)                // node->vx = v
+		b.Store(b.P(0), b.Add(node, b.I(8)), 8) // node->next = NULL
+		tail := b.LoadPtr(b.Add(b.Global(q), b.I(8)))
+		b.If(b.Eq(tail, b.P(0)), func() {
+			b.Store(node, b.Global(q), 8) // Q.head = node
+		}, func() {
+			b.Store(node, b.Add(tail, b.I(8)), 8) // tail->next = node
+		})
+		b.Store(node, b.Add(b.Global(q), b.I(8)), 8) // Q.tail = node
+		b.Ret()
+	}
+
+	// dequeueQ(): pop the queue head; the underflow path never executes.
+	deq := m.NewFunc("dequeueQ", ir.I64)
+	{
+		b := ir.NewBuilder(deq)
+		head := b.LoadPtr(b.Global(q))
+		b.If(b.Eq(head, b.P(0)), func() {
+			b.Print("queue underflow\n")
+			b.Ret(b.I(-1))
+		}, nil)
+		v := b.Load(head, 8)
+		next := b.LoadPtr(b.Add(head, b.I(8)))
+		b.Store(next, b.Global(q), 8) // Q.head = next
+		b.If(b.Eq(next, b.P(0)), func() {
+			b.Store(b.P(0), b.Add(b.Global(q), b.I(8)), 8) // Q.tail = NULL
+		}, nil)
+		b.Free(head)
+		b.Ret(v)
+	}
+
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.For("src", b.I(0), b.I(n), func(sv *ir.Instr) {
+		// Reset the cost table (reused across iterations: privatized).
+		b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+			slot := b.Add(b.Global(pathcost), b.Mul(b.Ld(iv), b.I(8)))
+			b.Store(b.I(dijkstraInf), slot, 8)
+		})
+		b.Store(b.I(0), b.Add(b.Global(pathcost), b.Mul(b.Ld(sv), b.I(8))), 8)
+		b.Call(enq, b.Ld(sv))
+		// Drain the work queue, relaxing edges.
+		b.While(func() ir.Value {
+			return b.Ne(b.LoadPtr(b.Global(q)), b.P(0))
+		}, func() {
+			v := b.Call(deq)
+			d := b.Load(b.Add(b.Global(pathcost), b.Mul(v, b.I(8))), 8)
+			b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+				cost := b.Load(b.Add(b.Global(adj),
+					b.Mul(b.Add(b.Mul(v, b.I(n)), b.Ld(iv)), b.I(8))), 8)
+				ncost := b.Add(cost, d)
+				slot := b.Add(b.Global(pathcost), b.Mul(b.Ld(iv), b.I(8)))
+				b.If(b.SLt(ncost, b.Load(slot, 8)), func() {
+					b.Store(ncost, slot, 8)
+					b.Call(enq, b.Ld(iv))
+				}, nil)
+			})
+		})
+		dst := b.SRem(b.Add(b.Ld(sv), b.I(n/2)), b.I(n))
+		cost := b.Load(b.Add(b.Global(pathcost), b.Mul(dst, b.I(8))), 8)
+		b.Print("%d to %d: %d\n", b.Ld(sv), dst, cost)
+	})
+	b.Ret(b.I(0))
+	finishModule(m)
+	return m
+}
+
+// refDijkstra mirrors buildDijkstra natively: same queue discipline, same
+// relaxation order, same output format.
+func refDijkstra(in Input) (uint64, string) {
+	n := in.N
+	adj := dijkstraAdj(n, 12345)
+	pathcost := make([]int64, n)
+	var queue []int64 // FIFO of node ids
+	var sb strings.Builder
+	for src := int64(0); src < n; src++ {
+		for i := range pathcost {
+			pathcost[i] = dijkstraInf
+		}
+		pathcost[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			d := pathcost[v]
+			for i := int64(0); i < n; i++ {
+				ncost := adj[v*n+i] + d
+				if ncost < pathcost[i] {
+					pathcost[i] = ncost
+					queue = append(queue, i)
+				}
+			}
+		}
+		dst := (src + n/2) % n
+		fmt.Fprintf(&sb, "%d to %d: %d\n", src, dst, pathcost[dst])
+	}
+	return 0, sb.String()
+}
+
+// finishModule promotes allocas in every function and panics on verifier
+// errors — builders are internal, so failures are programming bugs.
+func finishModule(m *ir.Module) {
+	if err := ir.Verify(m); err != nil {
+		panic(fmt.Sprintf("progs: %s invalid before mem2reg: %v", m.Name, err))
+	}
+	for _, f := range m.SortedFuncs() {
+		ir.PromoteAllocas(f)
+	}
+	if err := ir.Verify(m); err != nil {
+		panic(fmt.Sprintf("progs: %s invalid after mem2reg: %v", m.Name, err))
+	}
+}

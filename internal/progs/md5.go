@@ -1,0 +1,279 @@
+package progs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"privateer/internal/ir"
+)
+
+// md5T is the MD5 sine table: T[i] = floor(2^32 * |sin(i+1)|).
+func md5T() []int64 {
+	t := make([]int64, 64)
+	for i := 0; i < 64; i++ {
+		t[i] = int64(uint32(math.Floor(4294967296 * math.Abs(math.Sin(float64(i+1))))))
+	}
+	return t
+}
+
+// md5Shifts is the per-round rotate table.
+var md5Shifts = [64]int64{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+// md5Lengths gives dataset d's length: all residues stay below 56 mod 64 so
+// the two-block padding path exists but never executes (control
+// speculation), matching enc-md5's "Control" extra.
+func md5Lengths(datasets, blockLen int64) []int64 {
+	out := make([]int64, datasets)
+	for d := int64(0); d < datasets; d++ {
+		out[d] = blockLen - 16*(d%3)
+	}
+	return out
+}
+
+// md5Offsets gives each dataset's start offset in the shared data buffer.
+func md5Offsets(lengths []int64) ([]int64, int64) {
+	offs := make([]int64, len(lengths))
+	total := int64(0)
+	for i, l := range lengths {
+		offs[i] = total
+		total += l
+	}
+	return offs, total
+}
+
+func md5Data(total int64, seed uint64) []byte {
+	r := newLCG(seed)
+	buf := make([]byte, total)
+	for i := range buf {
+		buf[i] = byte(r.next())
+	}
+	return buf
+}
+
+// EncMD5 is the Trimaran enc-md5 benchmark: message digests for many data
+// sets, printed to standard output. The outer loop is serialized by false
+// dependences on the global MD5 state object and the padding buffer
+// (private) and by the printf calls (deferred I/O); the per-dataset digest
+// buffer is short-lived; the two-block padding path is cold (control
+// speculation).
+//
+// Input: N = datasets, M = base dataset length in bytes (multiple of 64).
+func EncMD5() *Program {
+	return &Program{
+		Name: "enc-md5",
+		Description: "MD5 digests over many datasets; global hash state " +
+			"(private), short-lived digest buffer, control spec, deferred I/O",
+		Build:     buildEncMD5,
+		Reference: refEncMD5,
+		Train:     Input{Name: "train", N: 6, M: 256},
+		Ref:       Input{Name: "ref", N: 96, M: 768},
+		Alt:       Input{Name: "alt", N: 10, M: 512},
+	}
+}
+
+// State layout in the global mdstate (16 bytes): a@0, b@4, c@8, d@12, each
+// a 32-bit word.
+func buildEncMD5(in Input) *ir.Module {
+	datasets, blockLen := in.N, in.M
+	lengths := md5Lengths(datasets, blockLen)
+	offsets, total := md5Offsets(lengths)
+	data := md5Data(total, 2718)
+
+	m := ir.NewModule("enc-md5")
+	gData := m.NewGlobal("data", total)
+	gData.Init = data
+	gT := m.NewGlobal("Ttab", 64*8)
+	gT.Init = i64Init(md5T())
+	gLen := m.NewGlobal("lengths", datasets*8)
+	gLen.Init = i64Init(lengths)
+	gOff := m.NewGlobal("offsets", datasets*8)
+	gOff.Init = i64Init(offsets)
+	gState := m.NewGlobal("mdstate", 16)
+	gPad := m.NewGlobal("padbuf", 64)
+
+	mask32 := int64(0xffffffff)
+
+	// md5_transform(block): one 64-byte block into the global state.
+	xform := m.NewFunc("md5_transform", ir.Void)
+	pBlock := xform.NewParam("block", ir.Ptr)
+	{
+		b := ir.NewBuilder(xform)
+		m32 := func(v ir.Value) ir.Value { return b.And(v, b.I(mask32)) }
+		st := b.Global(gState)
+		a0 := b.Load(st, 4)
+		b0 := b.Load(b.Add(st, b.I(4)), 4)
+		c0 := b.Load(b.Add(st, b.I(8)), 4)
+		d0 := b.Load(b.Add(st, b.I(12)), 4)
+		a, bb, c, d := ir.Value(a0), ir.Value(b0), ir.Value(c0), ir.Value(d0)
+		for i := 0; i < 64; i++ {
+			var fv ir.Value
+			var g int64
+			switch {
+			case i < 16:
+				// F = (b & c) | (~b & d)
+				fv = b.Or(b.And(bb, c), b.And(b.Xor(bb, b.I(mask32)), d))
+				g = int64(i)
+			case i < 32:
+				// G = (d & b) | (~d & c)
+				fv = b.Or(b.And(d, bb), b.And(b.Xor(d, b.I(mask32)), c))
+				g = int64(5*i+1) % 16
+			case i < 48:
+				// H = b ^ c ^ d
+				fv = b.Xor(b.Xor(bb, c), d)
+				g = int64(3*i+5) % 16
+			default:
+				// I = c ^ (b | ~d)
+				fv = b.Xor(c, b.Or(bb, b.Xor(d, b.I(mask32))))
+				g = int64(7*i) % 16
+			}
+			mWord := b.Load(b.Add(pBlock, b.I(g*4)), 4)
+			tWord := b.Load(b.Add(b.Global(gT), b.I(int64(i)*8)), 8)
+			sum := m32(b.Add(b.Add(b.Add(a, fv), tWord), mWord))
+			s := md5Shifts[i]
+			rot := m32(b.Or(b.Shl(sum, b.I(s)), b.LShr(sum, b.I(32-s))))
+			nb := m32(b.Add(bb, rot))
+			a, d, c, bb = d, c, bb, nb
+		}
+		b.Store(m32(b.Add(a0, a)), st, 4)
+		b.Store(m32(b.Add(b0, bb)), b.Add(st, b.I(4)), 4)
+		b.Store(m32(b.Add(c0, c)), b.Add(st, b.I(8)), 4)
+		b.Store(m32(b.Add(d0, d)), b.Add(st, b.I(12)), 4)
+		b.Ret()
+	}
+
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.For("ds", b.I(0), b.I(datasets), func(dv *ir.Instr) {
+		st := b.Global(gState)
+		b.Store(b.I(0x67452301), st, 4)
+		b.Store(b.I(0xefcdab89), b.Add(st, b.I(4)), 4)
+		b.Store(b.I(0x98badcfe), b.Add(st, b.I(8)), 4)
+		b.Store(b.I(0x10325476), b.Add(st, b.I(12)), 4)
+		off := b.Load(b.Add(b.Global(gOff), b.Mul(b.Ld(dv), b.I(8))), 8)
+		length := b.Load(b.Add(b.Global(gLen), b.Mul(b.Ld(dv), b.I(8))), 8)
+		base := b.Add(b.Global(gData), off)
+		nblocks := b.SDiv(length, b.I(64))
+		b.For("blk", b.I(0), nblocks, func(bv *ir.Instr) {
+			b.Call(xform, b.Add(base, b.Mul(b.Ld(bv), b.I(64))))
+		})
+		// Padding: copy the tail into the pad buffer, append 0x80, zero
+		// fill, store the bit length.
+		tail := b.SRem(length, b.I(64))
+		tailBase := b.Add(base, b.Mul(nblocks, b.I(64)))
+		b.If(b.SGe(tail, b.I(56)), func() {
+			// Needs a second pad block: never taken for these inputs
+			// (control speculation keeps the region parallel).
+			b.Print("long tail in dataset %d\n", b.Ld(dv))
+		}, nil)
+		pad := b.Global(gPad)
+		b.For("pz", b.I(0), b.I(64), func(zv *ir.Instr) {
+			b.Store(b.I(0), b.Add(pad, b.Ld(zv)), 1)
+		})
+		b.For("pc", b.I(0), tail, func(cv *ir.Instr) {
+			b.Store(b.Load(b.Add(tailBase, b.Ld(cv)), 1), b.Add(pad, b.Ld(cv)), 1)
+		})
+		b.Store(b.I(0x80), b.Add(pad, tail), 1)
+		b.Store(b.Mul(length, b.I(8)), b.Add(pad, b.I(56)), 8)
+		b.Call(xform, pad)
+		// Short-lived digest buffer, then deferred output.
+		dig := b.Malloc("digest", b.I(16))
+		b.Store(b.Load(st, 4), dig, 4)
+		b.Store(b.Load(b.Add(st, b.I(4)), 4), b.Add(dig, b.I(4)), 4)
+		b.Store(b.Load(b.Add(st, b.I(8)), 4), b.Add(dig, b.I(8)), 4)
+		b.Store(b.Load(b.Add(st, b.I(12)), 4), b.Add(dig, b.I(12)), 4)
+		b.Print("%d: %x %x %x %x\n", b.Ld(dv),
+			b.Load(dig, 4), b.Load(b.Add(dig, b.I(4)), 4),
+			b.Load(b.Add(dig, b.I(8)), 4), b.Load(b.Add(dig, b.I(12)), 4))
+		b.Free(dig)
+	})
+	b.Ret(b.I(0))
+	finishModule(m)
+	return m
+}
+
+// refMD5Transform mirrors md5_transform on native uint32 state.
+func refMD5Transform(state *[4]uint32, block []byte) {
+	t := md5T()
+	a, bb, c, d := state[0], state[1], state[2], state[3]
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (bb & c) | (^bb & d)
+			g = i
+		case i < 32:
+			f = (d & bb) | (^d & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = bb ^ c ^ d
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (bb | ^d)
+			g = (7 * i) % 16
+		}
+		mw := uint32(block[g*4]) | uint32(block[g*4+1])<<8 |
+			uint32(block[g*4+2])<<16 | uint32(block[g*4+3])<<24
+		sum := a + f + uint32(t[i]) + mw
+		s := uint(md5Shifts[i])
+		rot := sum<<s | sum>>(32-s)
+		nb := bb + rot
+		a, d, c, bb = d, c, bb, nb
+	}
+	state[0] += a
+	state[1] += bb
+	state[2] += c
+	state[3] += d
+}
+
+// RefMD5Digest computes the MD5 state words for msg with the reference
+// transform (exported for the crypto/md5 cross-check in tests).
+func RefMD5Digest(msg []byte) [4]uint32 {
+	state := [4]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476}
+	n := len(msg) / 64
+	for b := 0; b < n; b++ {
+		refMD5Transform(&state, msg[b*64:(b+1)*64])
+	}
+	tail := msg[n*64:]
+	bits := uint64(len(msg)) * 8
+	if len(tail) >= 56 {
+		// Two padding blocks (the cold path in the IR benchmark's inputs).
+		var pad [128]byte
+		copy(pad[:], tail)
+		pad[len(tail)] = 0x80
+		for i := 0; i < 8; i++ {
+			pad[120+i] = byte(bits >> (8 * i))
+		}
+		refMD5Transform(&state, pad[:64])
+		refMD5Transform(&state, pad[64:])
+		return state
+	}
+	var pad [64]byte
+	copy(pad[:], tail)
+	pad[len(tail)] = 0x80
+	for i := 0; i < 8; i++ {
+		pad[56+i] = byte(bits >> (8 * i))
+	}
+	refMD5Transform(&state, pad[:])
+	return state
+}
+
+func refEncMD5(in Input) (uint64, string) {
+	datasets, blockLen := in.N, in.M
+	lengths := md5Lengths(datasets, blockLen)
+	offsets, total := md5Offsets(lengths)
+	data := md5Data(total, 2718)
+	var sb strings.Builder
+	for d := int64(0); d < datasets; d++ {
+		msg := data[offsets[d] : offsets[d]+lengths[d]]
+		st := RefMD5Digest(msg)
+		fmt.Fprintf(&sb, "%d: %x %x %x %x\n", d, st[0], st[1], st[2], st[3])
+	}
+	return 0, sb.String()
+}

@@ -1,0 +1,276 @@
+package progs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"privateer/internal/ir"
+)
+
+// swaptionsFactors generates the volatility factor table.
+func swaptionsFactors(steps int64, seed uint64) []float64 {
+	r := newLCG(seed)
+	fac := make([]float64, steps)
+	for i := range fac {
+		fac[i] = 0.05 + 0.2*r.float01()
+	}
+	return fac
+}
+
+// LCG constants shared by the IR program and the reference: the Monte Carlo
+// paths must be bit-identical.
+const (
+	swapLCGMul = 6364136223846793005
+	swapLCGAdd = 1442695040888963407
+)
+
+// Swaptions is the PARSEC Monte Carlo swaption pricer. Each outer-loop
+// iteration prices one swaption whose parameters live in a heap-allocated
+// record reached through an array of pointers — the linked/matrix data
+// structures that defeat LRPD-style layout-sensitive schemes and this
+// repository's static baseline. Simulation scratch (a row-pointer matrix
+// and vectors) is allocated and freed within the iteration (short-lived);
+// a simulation-error flag is cleared every iteration and checked at the
+// next (value prediction); the error path is cold (control speculation).
+//
+// Input: N = swaptions, M = trials, K = time steps.
+func Swaptions() *Program {
+	return &Program{
+		Name: "swaptions",
+		Description: "Monte Carlo swaption pricing; records via pointer " +
+			"indirection (private), short-lived matrices, value prediction, control spec",
+		Build:       buildSwaptions,
+		Reference:   refSwaptions,
+		FloatResult: true,
+		Train:       Input{Name: "train", N: 6, M: 6, K: 12},
+		Ref:         Input{Name: "ref", N: 96, M: 16, K: 16},
+		Alt:         Input{Name: "alt", N: 9, M: 8, K: 10},
+	}
+}
+
+// Swaption record layout (64 bytes): strike@0, years@8, mean@16, stderr@24,
+// seed@32.
+func buildSwaptions(in Input) *ir.Module {
+	n, trials, steps := in.N, in.M, in.K
+	factors := swaptionsFactors(steps, 4242)
+
+	m := ir.NewModule("swaptions")
+	gFactors := m.NewGlobal("factors", steps*8)
+	gFactors.Init = f64Init(factors)
+	gArr := m.NewGlobal("swaptions_arr", n*8) // array of record pointers
+	gErr := m.NewGlobal("simerr", 8)
+
+	// setup() allocates the records and publishes them through the array.
+	setup := m.NewFunc("setup", ir.Void)
+	{
+		b := ir.NewBuilder(setup)
+		b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+			rec := b.Malloc("swaption_rec", b.I(64))
+			slot := b.Add(b.Global(gArr), b.Mul(b.Ld(iv), b.I(8)))
+			b.Store(rec, slot, 8)
+		})
+		b.Ret()
+	}
+
+	// Parameter tables (readonly).
+	strikes := make([]float64, n)
+	yearsT := make([]float64, n)
+	seeds := make([]int64, n)
+	{
+		r := newLCG(909)
+		for i := int64(0); i < n; i++ {
+			strikes[i] = 0.02 + 0.06*r.float01()
+			yearsT[i] = 1 + 9*r.float01()
+			seeds[i] = int64(r.next() | 1)
+		}
+	}
+	gStrike := m.NewGlobal("strike_tab", n*8)
+	gStrike.Init = f64Init(strikes)
+	gYears := m.NewGlobal("years_tab", n*8)
+	gYears.Init = f64Init(yearsT)
+	gSeeds := m.NewGlobal("seed_tab", n*8)
+	gSeeds.Init = i64Init(seeds)
+
+	// fill(i): copy parameters into record i (runs before the hot loop).
+	fill := m.NewFunc("fill_records", ir.Void)
+	{
+		b := ir.NewBuilder(fill)
+		b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+			off := b.Mul(b.Ld(iv), b.I(8))
+			rec := b.LoadPtr(b.Add(b.Global(gArr), off))
+			b.StoreF(b.LoadF(b.Add(b.Global(gStrike), off)), rec)
+			b.StoreF(b.LoadF(b.Add(b.Global(gYears), off)), b.Add(rec, b.I(8)))
+			b.Store(b.Load(b.Add(b.Global(gSeeds), off), 8), b.Add(rec, b.I(32)), 8)
+		})
+		b.Ret()
+	}
+
+	// simulate(rec): Monte Carlo pricing of one swaption, storing mean and
+	// standard error into the record.
+	sim := m.NewFunc("simulate", ir.Void)
+	pRec := sim.NewParam("rec", ir.Ptr)
+	{
+		b := ir.NewBuilder(sim)
+		strike := b.LoadF(pRec)
+		years := b.LoadF(b.Add(pRec, b.I(8)))
+		seed0 := b.Load(b.Add(pRec, b.I(32)), 8)
+		// Short-lived scratch: a row-pointer matrix (2 rows: rates and
+		// discounts) plus a payoff vector.
+		mat := b.Malloc("path_matrix", b.I(16))
+		rates := b.Malloc("path_row", b.I(steps*8))
+		disc := b.Malloc("disc_row", b.I(steps*8))
+		b.Store(rates, mat, 8)
+		b.Store(disc, b.Add(mat, b.I(8)), 8)
+		payoffs := b.Malloc("payoff_vec", b.I(trials*8))
+
+		dt := b.FDiv(years, b.Flt(float64(steps)))
+		b.For("t", b.I(0), b.I(trials), func(tv *ir.Instr) {
+			seed := b.Local("seed")
+			b.St(b.Add(seed0, b.Mul(b.Ld(tv), b.I(2654435761))), seed)
+			rate := b.Local("rate")
+			b.St(b.Flt(0.05), rate)
+			df := b.Local("df")
+			b.St(b.Flt(1.0), df)
+			rrow := b.LoadPtr(mat)
+			drow := b.LoadPtr(b.Add(mat, b.I(8)))
+			b.For("s", b.I(0), b.I(steps), func(sv *ir.Instr) {
+				// LCG step and uniform draw in [0,1).
+				ns := b.Add(b.Mul(b.Ld(seed), b.I(swapLCGMul)), b.I(swapLCGAdd))
+				b.St(ns, seed)
+				u := b.FDiv(b.SIToFP(b.And(b.LShr(ns, b.I(17)), b.I((1<<30)-1))),
+					b.Flt(float64(int64(1)<<30)))
+				fac := b.LoadF(b.Add(b.Global(gFactors), b.Mul(b.Ld(sv), b.I(8))))
+				shock := b.FMul(fac, b.FMul(b.FSub(u, b.Flt(0.5)), b.Flt(0.2)))
+				nr := b.FAdd(b.LdF(rate), shock)
+				b.St(nr, rate)
+				b.StoreF(nr, b.Add(rrow, b.Mul(b.Ld(sv), b.I(8))))
+				ndf := b.FMul(b.LdF(df), b.Builtin("exp", ir.F64,
+					b.FMul(b.FSub(b.Flt(0), nr), dt)))
+				b.St(ndf, df)
+				b.StoreF(ndf, b.Add(drow, b.Mul(b.Ld(sv), b.I(8))))
+			})
+			// Payoff: discounted positive part of (avg rate - strike).
+			avg := b.Local("avg")
+			b.St(b.Flt(0), avg)
+			b.For("s2", b.I(0), b.I(steps), func(sv *ir.Instr) {
+				b.St(b.FAdd(b.LdF(avg), b.LoadF(b.Add(rrow, b.Mul(b.Ld(sv), b.I(8))))), avg)
+			})
+			mean := b.FDiv(b.LdF(avg), b.Flt(float64(steps)))
+			raw := b.FSub(mean, strike)
+			pay := b.FMul(b.Select(b.FGt(raw, b.Flt(0)), raw, b.Flt(0)), b.LdF(df))
+			b.StoreF(pay, b.Add(payoffs, b.Mul(b.Ld(tv), b.I(8))))
+			// A negative discounted payoff is impossible; the error path
+			// never executes (control speculation).
+			b.If(b.FLt(pay, b.Flt(0)), func() {
+				b.Store(b.I(1), b.Global(gErr), 8)
+			}, nil)
+		})
+		// Mean and standard error over the trials.
+		sum := b.Local("sum")
+		sumsq := b.Local("sumsq")
+		b.St(b.Flt(0), sum)
+		b.St(b.Flt(0), sumsq)
+		b.For("t2", b.I(0), b.I(trials), func(tv *ir.Instr) {
+			p := b.LoadF(b.Add(payoffs, b.Mul(b.Ld(tv), b.I(8))))
+			b.St(b.FAdd(b.LdF(sum), p), sum)
+			b.St(b.FAdd(b.LdF(sumsq), b.FMul(p, p)), sumsq)
+		})
+		tn := b.Flt(float64(trials))
+		mean := b.FDiv(b.LdF(sum), tn)
+		variance := b.FSub(b.FDiv(b.LdF(sumsq), tn), b.FMul(mean, mean))
+		vfix := b.Select(b.FGt(variance, b.Flt(0)), variance, b.Flt(0))
+		serr := b.FDiv(b.Builtin("sqrt", ir.F64, vfix), b.Builtin("sqrt", ir.F64, tn))
+		b.StoreF(mean, b.Add(pRec, b.I(16)))
+		b.StoreF(serr, b.Add(pRec, b.I(24)))
+		b.Free(payoffs)
+		b.Free(disc)
+		b.Free(rates)
+		b.Free(mat)
+		b.Ret()
+	}
+
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.Call(setup)
+	b.Call(fill)
+	b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+		// Last iteration's simulation-error flag (carried, stably zero).
+		b.If(b.Ne(b.Load(b.Global(gErr), 8), b.I(0)), func() {
+			b.Print("simulation error before swaption %d\n", b.Ld(iv))
+		}, nil)
+		rec := b.LoadPtr(b.Add(b.Global(gArr), b.Mul(b.Ld(iv), b.I(8))))
+		b.Call(sim, rec)
+		b.Store(b.I(0), b.Global(gErr), 8)
+	})
+	// Deterministic summary outside the region.
+	acc := b.Local("acc")
+	b.St(b.Flt(0), acc)
+	b.For("j", b.I(0), b.I(n), func(jv *ir.Instr) {
+		rec := b.LoadPtr(b.Add(b.Global(gArr), b.Mul(b.Ld(jv), b.I(8))))
+		b.St(b.FAdd(b.LdF(acc), b.LoadF(b.Add(rec, b.I(16)))), acc)
+	})
+	b.Print("sum of means %g\n", b.LdF(acc))
+	b.Ret(b.LdF(acc))
+	finishModule(m)
+	return m
+}
+
+func refSwaptions(in Input) (uint64, string) {
+	n, trials, steps := in.N, in.M, in.K
+	factors := swaptionsFactors(steps, 4242)
+	strikes := make([]float64, n)
+	yearsT := make([]float64, n)
+	seeds := make([]int64, n)
+	r := newLCG(909)
+	for i := int64(0); i < n; i++ {
+		strikes[i] = 0.02 + 0.06*r.float01()
+		yearsT[i] = 1 + 9*r.float01()
+		seeds[i] = int64(r.next() | 1)
+	}
+	means := make([]float64, n)
+	for i := int64(0); i < n; i++ {
+		strike, years, seed0 := strikes[i], yearsT[i], seeds[i]
+		dt := years / float64(steps)
+		payoffs := make([]float64, trials)
+		for t := int64(0); t < trials; t++ {
+			seed := seed0 + t*2654435761
+			rate := 0.05
+			df := 1.0
+			avg := 0.0
+			rates := make([]float64, steps)
+			for s := int64(0); s < steps; s++ {
+				seed = seed*swapLCGMul + swapLCGAdd
+				u := float64(uint64(seed)>>17&((1<<30)-1)) / float64(int64(1)<<30)
+				shock := factors[s] * ((u - 0.5) * 0.2)
+				rate += shock
+				rates[s] = rate
+				df *= math.Exp((0 - rate) * dt)
+			}
+			for s := int64(0); s < steps; s++ {
+				avg += rates[s]
+			}
+			mean := avg / float64(steps)
+			raw := mean - strike
+			pay := 0.0
+			if raw > 0 {
+				pay = raw
+			}
+			payoffs[t] = pay * df
+		}
+		sum, sumsq := 0.0, 0.0
+		for t := int64(0); t < trials; t++ {
+			sum += payoffs[t]
+			sumsq += payoffs[t] * payoffs[t]
+		}
+		means[i] = sum / float64(trials)
+		_ = sumsq
+	}
+	acc := 0.0
+	for i := int64(0); i < n; i++ {
+		acc += means[i]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sum of means %g\n", acc)
+	return f2b(acc), sb.String()
+}

@@ -1,0 +1,247 @@
+package specrt
+
+import (
+	"sort"
+	"sync"
+
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// ioRec is one deferred output operation, ordered by iteration.
+type ioRec struct {
+	iter int64
+	text string
+}
+
+// reduxObj describes one registered reduction object.
+type reduxObj struct {
+	addr     uint64
+	size     int64
+	elemSize int64
+	op       ir.ReduxKind
+}
+
+// checkpoint is one checkpoint object (section 5.2): the merged speculative
+// state for one iteration interval. Each checkpoint is self-contained — it
+// records only the bytes touched during its own interval — so workers can
+// contribute to different checkpoints concurrently without ordering
+// constraints ("a fast worker proceeds to subsequent work units without
+// waiting"). Conflicts *within* an interval are detected during the merge;
+// conflicts *across* intervals are caught by a chain-validation pass when
+// the span quiesces, before anything commits.
+type checkpoint struct {
+	mu sync.Mutex
+	// id is the interval index within the span.
+	id int64
+	// base and limit bound the interval's iterations [base, limit).
+	base, limit int64
+	// prev is the previous checkpoint in the chain (nil for the first).
+	prev *checkpoint
+
+	// data holds merged private-heap byte values for bytes written this
+	// interval; shadow holds the interval's combined metadata (zero =
+	// untouched this interval).
+	data   map[uint64][]byte
+	shadow map[uint64][]byte
+	// redux accumulates worker contributions per reduction object;
+	// snapshots are cumulative per worker, so the accumulator reflects
+	// all iterations up to this interval.
+	redux map[uint64][]byte
+	// io collects deferred output of the interval.
+	io []ioRec
+	// contributed counts workers that added their state.
+	contributed int
+	// misspec marks a violation detected during merging.
+	misspec bool
+	// committed marks the checkpoint non-speculative.
+	committed bool
+}
+
+func newCheckpoint(id, base, limit int64, prev *checkpoint) *checkpoint {
+	return &checkpoint{
+		id: id, base: base, limit: limit, prev: prev,
+		data:   map[uint64][]byte{},
+		shadow: map[uint64][]byte{},
+		redux:  map[uint64][]byte{},
+	}
+}
+
+func (cp *checkpoint) ownPage(m map[uint64][]byte, base uint64) []byte {
+	pg, ok := m[base]
+	if !ok {
+		pg = make([]byte, vm.PageSize)
+		m[base] = pg
+	}
+	return pg
+}
+
+// addWorkerState merges one worker's speculative state into the checkpoint:
+// the second phase of privacy validation plus data selection by timestamp.
+// The worker's shadow must reflect the current interval only (timestamps
+// are relative to cp.base). It returns false if the merge detects a privacy
+// violation.
+func (cp *checkpoint) addWorkerState(ws *vm.AddressSpace, reduxObjs []reduxObj, io []ioRec) (bool, int64) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ok := true
+	var scanned int64
+	ws.HeapPages(ir.HeapShadow, func(shBase uint64, shData []byte) {
+		scanned += vm.PageSize
+		privBase := shBase &^ ir.ShadowBit
+		var combinedSh, combinedData, privData []byte
+		for off := 0; off < vm.PageSize; off++ {
+			wm := shData[off]
+			if wm == MetaLiveIn || wm == MetaOldWrite {
+				continue // untouched this interval / merged earlier
+			}
+			if combinedSh == nil {
+				combinedSh = cp.ownPage(cp.shadow, shBase)
+				combinedData = cp.ownPage(cp.data, privBase)
+			}
+			newMeta, takeData, miss := MergeByte(combinedSh[off], wm)
+			if miss {
+				ok = false
+				cp.misspec = true
+			}
+			combinedSh[off] = newMeta
+			if takeData {
+				if privData == nil {
+					if pd, have := ws.PageData(privBase); have {
+						privData = pd
+					} else {
+						privData = make([]byte, vm.PageSize)
+					}
+				}
+				combinedData[off] = privData[off]
+			}
+		}
+	})
+	for _, ro := range reduxObjs {
+		buf := make([]byte, ro.size)
+		if err := ws.ReadBytes(ro.addr, buf); err != nil {
+			ok = false
+			cp.misspec = true
+			continue
+		}
+		acc, have := cp.redux[ro.addr]
+		if !have {
+			id, err := Identity(ro.op, ro.elemSize)
+			if err != nil {
+				ok = false
+				continue
+			}
+			acc = make([]byte, ro.size)
+			for off := int64(0); off < ro.size; off += ro.elemSize {
+				copy(acc[off:off+ro.elemSize], id)
+			}
+			cp.redux[ro.addr] = acc
+		}
+		if err := Combine(ro.op, ro.elemSize, acc, buf); err != nil {
+			ok = false
+		}
+	}
+	cp.io = append(cp.io, io...)
+	cp.contributed++
+	return ok, scanned
+}
+
+// sortedIO returns the interval's deferred output in iteration order.
+func (cp *checkpoint) sortedIO() []ioRec {
+	out := append([]ioRec(nil), cp.io...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].iter < out[j].iter })
+	return out
+}
+
+// chain returns the checkpoints from the first interval through cp, oldest
+// first.
+func (cp *checkpoint) chain() []*checkpoint {
+	var out []*checkpoint
+	for c := cp; c != nil; c = c.prev {
+		out = append(out, c)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// crossValidate detects privacy violations spanning checkpoint intervals:
+// a byte read as live-in after some earlier interval wrote it (or vice
+// versa). It walks the chain oldest-first, carrying collapsed metadata, and
+// returns the id of the first violating checkpoint, or -1. Call only after
+// the span has quiesced.
+func (cp *checkpoint) crossValidate() int64 {
+	carried := map[uint64][]byte{} // shadow page base -> collapsed meta
+	for _, c := range cp.chain() {
+		for base, sh := range c.shadow {
+			prev, have := carried[base]
+			if !have {
+				prev = make([]byte, vm.PageSize)
+				carried[base] = prev
+			}
+			for off, m := range sh {
+				if m == MetaLiveIn {
+					continue
+				}
+				if m == MetaReadLiveIn && prev[off] == MetaOldWrite {
+					return c.id // read "live-in" of a byte written earlier
+				}
+				if m >= MetaTSBase && prev[off] == MetaReadLiveIn {
+					return c.id // write after a live-in read
+				}
+				if m == MetaReadLiveIn {
+					if prev[off] != MetaOldWrite {
+						prev[off] = MetaReadLiveIn
+					}
+				} else {
+					prev[off] = MetaOldWrite
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// installInto applies the chain's merged private state and reduction totals
+// to the master address space: the simulated equivalent of installing a
+// checkpoint's heap images via mmap.
+func (cp *checkpoint) installInto(master *vm.AddressSpace, reduxObjs []reduxObj) (int64, error) {
+	var bytes int64
+	for _, c := range cp.chain() {
+		for base, sh := range c.shadow {
+			privBase := base &^ ir.ShadowBit
+			data := c.data[privBase]
+			if data == nil {
+				continue
+			}
+			for off, m := range sh {
+				if m < MetaTSBase {
+					continue
+				}
+				if err := master.Write(privBase+uint64(off), 1, uint64(data[off])); err != nil {
+					return bytes, err
+				}
+				bytes++
+			}
+		}
+	}
+	for _, ro := range reduxObjs {
+		contrib, have := cp.redux[ro.addr]
+		if !have {
+			continue
+		}
+		cur := make([]byte, ro.size)
+		if err := master.ReadBytes(ro.addr, cur); err != nil {
+			return bytes, err
+		}
+		if err := Combine(ro.op, ro.elemSize, cur, contrib); err != nil {
+			return bytes, err
+		}
+		if err := master.WriteBytes(ro.addr, cur); err != nil {
+			return bytes, err
+		}
+		bytes += ro.size
+	}
+	return bytes, nil
+}

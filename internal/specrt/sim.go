@@ -1,0 +1,92 @@
+package specrt
+
+// Simulated-time cost model.
+//
+// The paper measures wall-clock time on a 24-core Xeon. This reproduction
+// interprets IR, and the build/evaluation host may have any number of cores
+// (including one), so wall-clock scaling would measure the host, not the
+// system. Instead the runtime accounts deterministic *simulated time* in
+// units of interpreted instructions ("steps"):
+//
+//   - each executed IR instruction costs 1 step;
+//   - runtime services cost the constants below, calibrated to the
+//     relative magnitudes the paper reports (fork-based spawn is expensive,
+//     inline privacy checks cost a few instructions per byte, checkpoint
+//     merging scans shadow pages);
+//   - a parallel span's simulated time is
+//     spawn + max over workers(steps + validation costs) + install/commit,
+//     i.e. workers genuinely overlap and the slowest worker plus the
+//     serial sections bound the region (Amdahl accounting);
+//   - sequential recovery executes serially and adds its steps directly.
+//
+// Whole-program speedup (Figures 6, 7, 9) is then
+// steps(best sequential) / simulated-time(parallel), a deterministic,
+// host-independent quantity whose *shape* tracks the paper's wall-clock
+// results.
+const (
+	// SimSpawnPerWorker models fork latency and address-space setup.
+	SimSpawnPerWorker = 2500
+	// SimJoinPerWorker models worker-completed signalling.
+	SimJoinPerWorker = 400
+	// SimPrivacyPerByte is the inline shadow-metadata update per private
+	// byte accessed.
+	SimPrivacyPerByte = 2
+	// SimCheckpointPerByte is the merge cost per shadow byte scanned while
+	// adding worker state to a checkpoint.
+	SimCheckpointPerByte = 1
+	// SimSeparationCheck is the pointer tag test (a few bit operations).
+	SimSeparationCheck = 2
+	// SimPredict is a value-prediction comparison.
+	SimPredict = 2
+	// SimShortLivedCheck is the per-iteration live-object count check.
+	SimShortLivedCheck = 3
+	// SimInstallPerByte is the cost of installing checkpoint bytes into
+	// the main process (page-map manipulation amortized per byte).
+	SimInstallPerByte = 1
+	// SimCommitPerIO is the cost of committing one deferred output
+	// operation.
+	SimCommitPerIO = 20
+)
+
+// SimStats aggregates the simulated-time accounting of a run, for the
+// speedup figures and the Figure 8 overhead breakdown.
+type SimStats struct {
+	// RegionTime is the simulated time of all parallel invocations.
+	RegionTime int64
+	// RegionCapacity is Σ workers × span time: the total computational
+	// capacity of Figure 8.
+	RegionCapacity int64
+	// UsefulSteps is Σ over workers of interpreted instructions (the
+	// original program's work).
+	UsefulSteps int64
+	// PrivReadCost and PrivWriteCost are the simulated privacy-validation
+	// costs.
+	PrivReadCost  int64
+	PrivWriteCost int64
+	// CheckpointCost is the simulated merge + install + commit cost.
+	CheckpointCost int64
+	// OtherCheckCost covers separation checks, predictions and
+	// short-lived counting.
+	OtherCheckCost int64
+	// SpawnCost is the simulated fork cost.
+	SpawnCost int64
+	// RecoverySteps counts serial recovery re-execution.
+	RecoverySteps int64
+	// SeqSteps counts master-process execution outside parallel regions.
+	SeqSteps int64
+}
+
+// Time returns the whole program's simulated execution time.
+func (s *SimStats) Time() int64 { return s.SeqSteps + s.RegionTime + s.RecoverySteps }
+
+// IdleCost returns the capacity lost to spawn latency, imbalance, join and
+// serial sections inside regions: Figure 8's "Spawn/Join" category.
+func (s *SimStats) IdleCost() int64 {
+	used := s.UsefulSteps + s.PrivReadCost + s.PrivWriteCost +
+		s.CheckpointCost + s.OtherCheckCost
+	idle := s.RegionCapacity - used
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}

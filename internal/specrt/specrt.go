@@ -1,0 +1,358 @@
+package specrt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privateer/internal/classify"
+	"privateer/internal/deps"
+	"privateer/internal/doall"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+	"privateer/internal/transform"
+	"privateer/internal/vm"
+)
+
+// Config controls a speculative run.
+type Config struct {
+	// Workers is the number of worker processes.
+	Workers int
+	// CheckpointPeriod is the iteration count per checkpoint; 0 selects
+	// automatically (about five checkpoints per invocation, capped at the
+	// paper's 253-iteration metadata limit).
+	CheckpointPeriod int64
+	// AdaptivePeriod shrinks the checkpoint period after each recovery
+	// within an invocation (halving it, floor 1), trading validation
+	// overhead for less discarded work when misspeculation turns out to
+	// be frequent — an extension of the paper's fixed-period policy
+	// (section 5.2 discusses exactly this tension).
+	AdaptivePeriod bool
+	// MisspecRate injects artificial misspeculation at the given
+	// per-iteration probability (Figure 9). Zero disables injection.
+	MisspecRate float64
+	// Seed makes injection deterministic.
+	Seed uint64
+	// StepLimit bounds each worker's interpreter (0 = default).
+	StepLimit int64
+}
+
+// RegionInfo bundles the compiler artifacts for one parallel region.
+type RegionInfo struct {
+	// Outline is the DOALL outline (region/iter functions).
+	Outline *doall.Region
+	// Assign is the heap assignment.
+	Assign *classify.Assignment
+	// Plan is the speculation plan.
+	Plan *deps.Plan
+	// TStats is the transformation summary.
+	TStats *transform.Stats
+}
+
+// Stats aggregates runtime events across all invocations, feeding Table 3
+// and Figure 8.
+type Stats struct {
+	// Invocations counts parallel-region entries.
+	Invocations int64
+	// Checkpoints counts checkpoint objects constructed.
+	Checkpoints int64
+	// Misspecs counts detected misspeculations (including injected).
+	Misspecs int64
+	// Recoveries counts sequential recovery episodes.
+	Recoveries int64
+	// SequentialFallbacks counts invocations abandoned to pure sequential
+	// execution after repeated misspeculation.
+	SequentialFallbacks int64
+	// PrivReadBytes and PrivWriteBytes total privacy-checked volume
+	// (Table 3's "Priv R"/"Priv W").
+	PrivReadBytes  int64
+	PrivWriteBytes int64
+	// PrivReadChecks and PrivWriteChecks count dynamic privacy checks.
+	PrivReadChecks  int64
+	PrivWriteChecks int64
+	// SeparationChecks counts dynamic check_heap executions.
+	SeparationChecks int64
+	// Predictions counts dynamic value-prediction checks.
+	Predictions int64
+	// DeferredIO counts buffered output operations.
+	DeferredIO int64
+	// Timing (nanoseconds, atomically accumulated).
+	SpawnNS      int64
+	JoinNS       int64
+	CheckpointNS int64
+	PrivReadNS   int64
+	PrivWriteNS  int64
+	WorkerBusyNS int64
+	RegionWallNS int64
+}
+
+// RT is the runtime: it executes a transformed module, intercepting
+// parallel-region calls and running them speculatively in parallel.
+type RT struct {
+	// Cfg is the run configuration.
+	Cfg Config
+	// Mod is the transformed module.
+	Mod *ir.Module
+	// Stats accumulates runtime events.
+	Stats Stats
+	// Sim accumulates simulated-time accounting (see sim.go).
+	Sim SimStats
+
+	regions map[*ir.Function]*RegionInfo
+	out     strings.Builder
+	master  *interp.Interp
+
+	reduxMu   sync.Mutex
+	reduxObjs []reduxObj
+}
+
+// New prepares a runtime for mod with the given regions.
+func New(mod *ir.Module, cfg Config, regions ...*RegionInfo) *RT {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	rt := &RT{Cfg: cfg, Mod: mod, regions: map[*ir.Function]*RegionInfo{}}
+	for _, r := range regions {
+		rt.regions[r.Outline.RegionFn] = r
+	}
+	return rt
+}
+
+// Output returns everything the program printed, with deferred region
+// output committed in order.
+func (rt *RT) Output() string { return rt.out.String() }
+
+// Master exposes the main process interpreter (after Run).
+func (rt *RT) Master() *interp.Interp { return rt.master }
+
+// Run executes the program from its entry function.
+func (rt *RT) Run(args ...uint64) (uint64, error) {
+	master := interp.New(rt.Mod, vm.NewAddressSpace())
+	if rt.Cfg.StepLimit > 0 {
+		master.StepLimit = rt.Cfg.StepLimit
+	}
+	rt.master = master
+	master.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
+		rt.out.WriteString(text)
+		return true
+	}
+	// Track reduction objects allocated dynamically into the redux heap so
+	// worker heaps can be initialized to identity and merged.
+	master.Hooks.OnAlloc = func(fr *interp.Frame, in *ir.Instr, addr, size uint64) {
+		if ir.HeapOf(addr) == ir.HeapRedux && in != nil {
+			rt.registerRedux(addr, int64(size), profiling.Object{Site: in})
+		}
+	}
+	master.Hooks.CallOverride = func(fr *interp.Frame, in *ir.Instr, callee *ir.Function, args []uint64) (uint64, bool, error) {
+		ri := rt.regions[callee]
+		if ri == nil {
+			return 0, false, nil
+		}
+		return 0, true, rt.invoke(ri, args)
+	}
+	if err := master.LayOutGlobals(); err != nil {
+		return 0, err
+	}
+	defer func() { rt.Sim.SeqSteps = master.Steps }()
+	// Register global reduction objects.
+	for _, name := range rt.Mod.GlobalNames() {
+		g := rt.Mod.Globals[name]
+		if g.Heap == ir.HeapRedux {
+			rt.registerRedux(master.GlobalAddr(g), g.Size, profiling.Object{Global: g})
+		}
+	}
+	return master.Run(args...)
+}
+
+// registerRedux records a reduction object's operator and element size from
+// whichever region's assignment classified it.
+func (rt *RT) registerRedux(addr uint64, size int64, obj profiling.Object) {
+	op := ir.ReduxAddI64
+	elem := int64(8)
+	for _, ri := range rt.regions {
+		if k, ok := ri.Assign.ReduxOps[obj]; ok && k != ir.ReduxNone {
+			op = k
+			if s := ri.Assign.ReduxSizes[obj]; s != 0 {
+				elem = s
+			}
+			break
+		}
+	}
+	rt.reduxMu.Lock()
+	defer rt.reduxMu.Unlock()
+	for _, ro := range rt.reduxObjs {
+		if ro.addr == addr {
+			return
+		}
+	}
+	rt.reduxObjs = append(rt.reduxObjs, reduxObj{addr: addr, size: size, elemSize: elem, op: op})
+}
+
+// checkpointPeriod picks k for an invocation of total iterations.
+func (rt *RT) checkpointPeriod(total int64) int64 {
+	k := rt.Cfg.CheckpointPeriod
+	if k <= 0 {
+		k = (total + 4) / 5 // about five checkpoints per invocation
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxCheckpointPeriod {
+		k = MaxCheckpointPeriod
+	}
+	return k
+}
+
+// invoke runs one parallel region invocation: args are (lo, hi, live-ins).
+func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
+	wallStart := time.Now()
+	atomic.AddInt64(&rt.Stats.Invocations, 1)
+	lo, hi := int64(args[0]), int64(args[1])
+	live := args[2:]
+	if hi <= lo {
+		return nil
+	}
+	k := rt.checkpointPeriod(hi - lo)
+
+	const maxRecoveries = 1 << 20 // every recovery makes forward progress
+	start := lo
+	for start < hi {
+		span := &spanState{
+			rt: rt, ri: ri, live: live,
+			start: start, hi: hi, k: k,
+			misspecIter: -1,
+		}
+		lastValid, misspecAt, err := span.run()
+		if err != nil {
+			return err
+		}
+		if misspecAt < 0 {
+			// Clean completion: install the final checkpoint.
+			joinStart := time.Now()
+			if lastValid != nil {
+				bytes, err := lastValid.installInto(rt.master.AS, rt.reduxObjs)
+				if err != nil {
+					return err
+				}
+				cost := bytes * SimInstallPerByte
+				atomic.AddInt64(&rt.Sim.RegionTime, cost)
+				atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+				rt.commitChain(lastValid)
+			}
+			atomic.AddInt64(&rt.Stats.JoinNS, int64(time.Since(joinStart)))
+			atomic.AddInt64(&rt.Stats.RegionWallNS, int64(time.Since(wallStart)))
+			return nil
+		}
+		// Misspeculation: recover.
+		atomic.AddInt64(&rt.Stats.Recoveries, 1)
+		if lastValid != nil {
+			bytes, err := lastValid.installInto(rt.master.AS, rt.reduxObjs)
+			if err != nil {
+				return err
+			}
+			cost := bytes * SimInstallPerByte
+			atomic.AddInt64(&rt.Sim.RegionTime, cost)
+			atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+			rt.commitChain(lastValid)
+		}
+		redoFrom := start
+		if lastValid != nil {
+			redoFrom = lastValid.limit
+		}
+		if err := rt.sequentialRange(ri, redoFrom, misspecAt+1, live); err != nil {
+			return err
+		}
+		start = misspecAt + 1
+		if rt.Cfg.AdaptivePeriod && k > 1 {
+			k /= 2
+		}
+		if rt.Stats.Recoveries > maxRecoveries {
+			atomic.AddInt64(&rt.Stats.SequentialFallbacks, 1)
+			break
+		}
+	}
+	// Single worker or fallback: run the remainder sequentially.
+	if start < hi {
+		if err := rt.sequentialRange(ri, start, hi, live); err != nil {
+			return err
+		}
+	}
+	atomic.AddInt64(&rt.Stats.RegionWallNS, int64(time.Since(wallStart)))
+	return nil
+}
+
+// commitChain commits every uncommitted checkpoint up to cp, emitting
+// deferred output in order.
+func (rt *RT) commitChain(cp *checkpoint) {
+	var chain []*checkpoint
+	for c := cp; c != nil; c = c.prev {
+		if c.committed {
+			break
+		}
+		chain = append(chain, c)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		c := chain[i]
+		recs := c.sortedIO()
+		for _, rec := range recs {
+			rt.out.WriteString(rec.text)
+		}
+		cost := int64(len(recs)) * SimCommitPerIO
+		atomic.AddInt64(&rt.Sim.RegionTime, cost)
+		atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+		c.committed = true
+	}
+}
+
+// sequentialRange executes iterations [from, to) non-speculatively on the
+// master state with every check disabled — the recovery path, and the
+// single-worker mode.
+func (rt *RT) sequentialRange(ri *RegionInfo, from, to int64, live []uint64) error {
+	if from >= to {
+		return nil
+	}
+	it := interp.New(rt.Mod, rt.master.AS)
+	it.AdoptLayout(rt.master.GlobalLayout())
+	if rt.Cfg.StepLimit > 0 {
+		it.StepLimit = rt.Cfg.StepLimit
+	}
+	it.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
+		rt.out.WriteString(text)
+		return true
+	}
+	noop := func(in *ir.Instr, addr uint64, size int64) error { return nil }
+	it.Hooks.PrivateRead = noop
+	it.Hooks.PrivateWrite = noop
+	it.Hooks.ReduxWrite = noop
+	it.Hooks.CheckHeap = func(in *ir.Instr, addr uint64) error { return nil }
+	it.Hooks.Predict = func(in *ir.Instr, actual, expected uint64) error { return nil }
+	it.Hooks.Misspec = func(in *ir.Instr) error { return nil }
+	callArgs := make([]uint64, 1+len(live))
+	copy(callArgs[1:], live)
+	for i := from; i < to; i++ {
+		callArgs[0] = uint64(i)
+		if _, err := it.Call(ri.Outline.IterFn, callArgs...); err != nil {
+			return fmt.Errorf("sequential recovery at iteration %d: %w", i, err)
+		}
+	}
+	atomic.AddInt64(&rt.Sim.RecoverySteps, it.Steps)
+	return nil
+}
+
+// inject reports whether iteration i should misspeculate artificially.
+func (rt *RT) inject(i int64) bool {
+	if rt.Cfg.MisspecRate <= 0 {
+		return false
+	}
+	// splitmix64 over (seed, i) for a deterministic, uniform draw.
+	x := rt.Cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < rt.Cfg.MisspecRate
+}

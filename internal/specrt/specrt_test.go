@@ -1,0 +1,262 @@
+package specrt
+
+import (
+	"strings"
+	"testing"
+
+	"privateer/internal/analysis"
+	"privateer/internal/classify"
+	"privateer/internal/deps"
+	"privateer/internal/doall"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+	"privateer/internal/transform"
+	"privateer/internal/vm"
+)
+
+// buildRegion compiles a module's hottest main loop into a RegionInfo for
+// direct runtime tests (a miniature of core.Parallelize without the import
+// cycle).
+func buildRegion(t *testing.T, mod *ir.Module, trainArgs ...uint64) *RegionInfo {
+	t.Helper()
+	prof, err := profiling.Run(mod, trainArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *ir.Loop
+	for _, li := range prof.HotLoops() {
+		if li.Loop.Header.Fn.Name == "main" && li.Loop.Depth == 1 {
+			loop = li.Loop
+			break
+		}
+	}
+	if loop == nil {
+		t.Fatal("no hot main loop")
+	}
+	a := classify.Classify(loop, prof)
+	plan := deps.SpeculativeBlockers(loop, prof, a)
+	if len(plan.Blockers) > 0 {
+		t.Fatalf("blockers: %v\n%s", plan.Blockers, a)
+	}
+	pt := analysis.ComputePointsTo(mod)
+	res, err := transform.Apply(mod, loop, prof, a, plan, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ir.FindInductionVar(loop)
+	outline, err := doall.Outline(mod, loop, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &RegionInfo{Outline: outline, Assign: a, Plan: plan, TStats: res.Stats}
+}
+
+// buildWriterModule: for i in [0,n): table[i%4] = i; writes cycle through
+// four slots, so the final state depends on the LAST writer of each slot —
+// checkpoint data selection by timestamp is what this exercises.
+func buildWriterModule(n int64) *ir.Module {
+	m := ir.NewModule("writer")
+	table := m.NewGlobal("table", 4*8)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+		slot := b.Add(b.Global(table), b.Mul(b.SRem(b.Ld(iv), b.I(4)), b.I(8)))
+		b.Store(b.Ld(iv), slot, 8)
+	})
+	acc := b.Local("acc")
+	b.St(b.I(0), acc)
+	b.For("j", b.I(0), b.I(4), func(jv *ir.Instr) {
+		v := b.Load(b.Add(b.Global(table), b.Mul(b.Ld(jv), b.I(8))), 8)
+		b.St(b.Add(b.Mul(b.Ld(acc), b.I(100)), v), acc)
+	})
+	b.Ret(b.Ld(acc))
+	for _, fn := range m.SortedFuncs() {
+		ir.PromoteAllocas(fn)
+	}
+	return m
+}
+
+// TestLastWriterWinsAcrossWorkers: the merged private state must match the
+// sequential last-writer semantics at every worker count and checkpoint
+// period.
+func TestLastWriterWinsAcrossWorkers(t *testing.T) {
+	const n = 37 // deliberately not a multiple of workers or period
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		for _, period := range []int64{1, 3, 7, 100} {
+			mod := buildWriterModule(n)
+			ri := buildRegion(t, mod)
+			rt := New(mod, Config{Workers: workers, CheckpointPeriod: period}, ri)
+			got, err := rt.Run()
+			if err != nil {
+				t.Fatalf("w=%d k=%d: %v", workers, period, err)
+			}
+			if got != want {
+				t.Errorf("w=%d k=%d: %d, want %d", workers, period, got, want)
+			}
+			if rt.Stats.Misspecs != 0 {
+				t.Errorf("w=%d k=%d: unexpected misspecs %d", workers, period, rt.Stats.Misspecs)
+			}
+		}
+	}
+}
+
+// TestReadOnlyViolationRecovered: the profile sees only reads of a table,
+// but the measured input writes it. The worker faults on the read-only
+// heap, the runtime treats it as misspeculation and recovers sequentially.
+func TestReadOnlyViolationRecovered(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("rov")
+		table := m.NewGlobal("table", 8*8)
+		out := m.NewGlobal("out", 8)
+		f := m.NewFunc("main", ir.I64)
+		f.NewParam("n", ir.I64)
+		b := ir.NewBuilder(f)
+		nv := f.Params[0]
+		b.For("i", b.I(0), nv, func(iv *ir.Instr) {
+			v := b.Load(b.Add(b.Global(table), b.Mul(b.SRem(b.Ld(iv), b.I(8)), b.I(8))), 8)
+			addr := b.Global(out)
+			b.Store(b.Add(b.Load(addr, 8), v), addr, 8)
+			// Iterations >= 12 deface the "read-only" table.
+			b.If(b.SGe(b.Ld(iv), b.I(12)), func() {
+				b.Store(b.Ld(iv), b.Global(table), 8)
+			}, nil)
+		})
+		b.Ret(b.Load(b.Global(out), 8))
+		for _, fn := range m.SortedFuncs() {
+			ir.PromoteAllocas(fn)
+		}
+		return m
+	}
+	seqIt := interp.New(build(), vm.NewAddressSpace())
+	want, err := seqIt.Run(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := build()
+	ri := buildRegion(t, mod, 12) // profile only the clean prefix
+	if ri.Assign.HeapOf(profiling.Object{Global: mod.Globals["table"]}) != ir.HeapReadOnly {
+		t.Fatalf("table should classify read-only on the training prefix:\n%s", ri.Assign)
+	}
+	rt := New(mod, Config{Workers: 4, CheckpointPeriod: 4}, ri)
+	got, err := rt.Run(24)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rt.Stats.Misspecs == 0 {
+		t.Error("read-only violation not detected")
+	}
+	if got != want {
+		t.Errorf("result %d, want %d", got, want)
+	}
+}
+
+// TestSquashPolicy: a misspeculation in a late interval must not discard
+// earlier checkpoints — recovery re-executes only from the last valid one.
+func TestSquashPolicy(t *testing.T) {
+	const n = 40
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildWriterModule(n)
+	ri := buildRegion(t, mod)
+	rt := New(mod, Config{
+		Workers: 4, CheckpointPeriod: 5,
+		MisspecRate: 0.04, Seed: 99,
+	}, ri)
+	got, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("result %d, want %d", got, want)
+	}
+	if rt.Stats.Misspecs == 0 {
+		t.Skip("injection produced no misspeculation for this seed")
+	}
+	// Recovery must be bounded: the serial re-execution cannot exceed the
+	// whole loop (it re-runs at most misspecs * (period + spillover)).
+	if rt.Sim.RecoverySteps <= 0 {
+		t.Error("no recovery steps recorded despite misspeculation")
+	}
+}
+
+// TestStatsAndOutputPlumbing exercises the remaining accessors.
+func TestStatsAndOutputPlumbing(t *testing.T) {
+	mod := buildWriterModule(10)
+	ri := buildRegion(t, mod)
+	rt := New(mod, Config{Workers: 2}, ri)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Master() == nil {
+		t.Error("Master() nil after Run")
+	}
+	if rt.Sim.Time() <= 0 {
+		t.Error("simulated time not accounted")
+	}
+	if rt.Sim.IdleCost() < 0 {
+		t.Error("negative idle cost")
+	}
+	if strings.Contains(rt.Output(), "digest") {
+		t.Error("unexpected output")
+	}
+}
+
+// TestAdaptivePeriodStillCorrect: halving the checkpoint period after each
+// recovery must preserve results under heavy injection.
+func TestAdaptivePeriodStillCorrect(t *testing.T) {
+	const n = 48
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildWriterModule(n)
+	ri := buildRegion(t, mod)
+	rt := New(mod, Config{
+		Workers: 4, CheckpointPeriod: 16, AdaptivePeriod: true,
+		MisspecRate: 0.2, Seed: 3,
+	}, ri)
+	got, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("adaptive run: %d, want %d", got, want)
+	}
+	if rt.Stats.Recoveries == 0 {
+		t.Skip("no recovery triggered for this seed")
+	}
+}
+
+// TestSequentialFallbackPath drives the runtime into its bounded-recovery
+// fallback by making every iteration misspeculate.
+func TestSequentialFallbackPath(t *testing.T) {
+	const n = 12
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildWriterModule(n)
+	ri := buildRegion(t, mod)
+	rt := New(mod, Config{Workers: 3, CheckpointPeriod: 2, MisspecRate: 1.0, Seed: 1}, ri)
+	got, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("result %d, want %d", got, want)
+	}
+	if rt.Stats.Recoveries == 0 {
+		t.Error("expected recoveries under certain misspeculation")
+	}
+}

@@ -1,0 +1,387 @@
+package specrt
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// spanState coordinates one parallel execution span: from a start iteration
+// to completion or to the first misspeculation (Figure 5 of the paper).
+type spanState struct {
+	rt   *RT
+	ri   *RegionInfo
+	live []uint64
+	// start and hi bound the span's iterations; k is the checkpoint period.
+	start, hi, k int64
+
+	mu          sync.Mutex
+	checkpoints []*checkpoint
+
+	// misspecIter is the earliest misspeculated iteration (-1 = none);
+	// guarded by flagMu for the atomic-min update.
+	flagMu      sync.Mutex
+	flagged     atomic.Bool
+	misspecIter int64
+}
+
+// flag records a misspeculation at iteration i, keeping the earliest.
+func (sp *spanState) flag(i int64) {
+	sp.flagMu.Lock()
+	if sp.misspecIter < 0 || i < sp.misspecIter {
+		sp.misspecIter = i
+	}
+	sp.flagMu.Unlock()
+	sp.flagged.Store(true)
+	atomic.AddInt64(&sp.rt.Stats.Misspecs, 1)
+}
+
+// misspecInterval returns the interval id of the earliest misspeculation,
+// or -1.
+func (sp *spanState) misspecInterval() int64 {
+	sp.flagMu.Lock()
+	defer sp.flagMu.Unlock()
+	if sp.misspecIter < 0 {
+		return -1
+	}
+	return (sp.misspecIter - sp.start) / sp.k
+}
+
+// checkpointFor returns the checkpoint object for interval c, creating the
+// chain lazily. The first worker to reach an interval allocates its object.
+func (sp *spanState) checkpointFor(c int64) *checkpoint {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for int64(len(sp.checkpoints)) <= c {
+		id := int64(len(sp.checkpoints))
+		var prev *checkpoint
+		if id > 0 {
+			prev = sp.checkpoints[id-1]
+		}
+		base := sp.start + id*sp.k
+		limit := base + sp.k
+		if limit > sp.hi {
+			limit = sp.hi
+		}
+		sp.checkpoints = append(sp.checkpoints, newCheckpoint(id, base, limit, prev))
+		atomic.AddInt64(&sp.rt.Stats.Checkpoints, 1)
+	}
+	return sp.checkpoints[c]
+}
+
+// run executes the span. It returns the last fully valid checkpoint (nil if
+// none completed), the earliest misspeculated iteration (-1 for a clean
+// finish), and any hard error.
+func (sp *spanState) run() (*checkpoint, int64, error) {
+	rt := sp.rt
+	workers := rt.Cfg.Workers
+	if total := sp.hi - sp.start; int64(workers) > total {
+		workers = int(total)
+	}
+	spawnStart := time.Now()
+	ws := make([]*worker, workers)
+	for w := 0; w < workers; w++ {
+		ws[w] = newWorker(sp, w, workers)
+	}
+	atomic.AddInt64(&rt.Stats.SpawnNS, int64(time.Since(spawnStart)))
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = ws[w].run()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, -1, err
+		}
+	}
+
+	// Simulated-time accounting: the span costs its spawn plus the slowest
+	// worker, and consumes capacity on every worker for its whole duration.
+	spawn := int64(workers) * SimSpawnPerWorker
+	join := int64(workers) * SimJoinPerWorker
+	var maxW int64
+	sim := &rt.Sim
+	for _, w := range ws {
+		t := w.simTime()
+		if t > maxW {
+			maxW = t
+		}
+		atomic.AddInt64(&sim.UsefulSteps, w.it.Steps)
+		atomic.AddInt64(&sim.PrivReadCost, w.simPrivRead)
+		atomic.AddInt64(&sim.PrivWriteCost, w.simPrivWrite)
+		atomic.AddInt64(&sim.CheckpointCost, w.simCheckpoint)
+		atomic.AddInt64(&sim.OtherCheckCost, w.simOther)
+	}
+	spanTime := spawn + maxW + join
+	atomic.AddInt64(&sim.RegionTime, spanTime)
+	atomic.AddInt64(&sim.RegionCapacity, int64(workers)*spanTime)
+	atomic.AddInt64(&sim.SpawnCost, spawn+join)
+
+	nIntervals := (sp.hi - sp.start + sp.k - 1) / sp.k
+	if !sp.flagged.Load() {
+		last := sp.checkpointFor(nIntervals - 1)
+		// Second-phase cross-interval privacy validation over the whole
+		// chain (the span has quiesced, so every contribution is in).
+		if c := last.crossValidate(); c >= 0 {
+			atomic.AddInt64(&rt.Stats.Misspecs, 1)
+			lv, at := sp.resolveMisspec(c, sp.checkpointFor(c).limit-1)
+			return lv, at, nil
+		}
+		return last, -1, nil
+	}
+	mi := sp.misspecInterval()
+	sp.flagMu.Lock()
+	iter := sp.misspecIter
+	sp.flagMu.Unlock()
+	// The valid prefix may itself hide a cross-interval violation; take
+	// the earliest.
+	if mi > 0 {
+		if c := sp.checkpointFor(mi - 1).crossValidate(); c >= 0 && c < mi {
+			atomic.AddInt64(&rt.Stats.Misspecs, 1)
+			lv, at := sp.resolveMisspec(c, sp.checkpointFor(c).limit-1)
+			return lv, at, nil
+		}
+	}
+	lv, at := sp.resolveMisspec(mi, iter)
+	return lv, at, nil
+}
+
+// resolveMisspec returns the last valid checkpoint before interval mi and
+// the iteration recovery must re-execute through.
+func (sp *spanState) resolveMisspec(mi, iter int64) (*checkpoint, int64) {
+	var lastValid *checkpoint
+	if mi > 0 {
+		lastValid = sp.checkpointFor(mi - 1)
+	}
+	return lastValid, iter
+}
+
+// worker is one speculative worker process.
+type worker struct {
+	sp      *spanState
+	id      int
+	stride  int
+	as      *vm.AddressSpace
+	it      *interp.Interp
+	curIter int64
+	curTS   byte
+	io      []ioRec
+
+	shortBaseline int
+
+	// Simulated-time accounting (see sim.go).
+	simPrivRead   int64
+	simPrivWrite  int64
+	simCheckpoint int64
+	simOther      int64
+}
+
+// simTime returns the worker's total simulated busy time.
+func (w *worker) simTime() int64 {
+	return w.it.Steps + w.simPrivRead + w.simPrivWrite + w.simCheckpoint + w.simOther
+}
+
+func newWorker(sp *spanState, id, stride int) *worker {
+	rt := sp.rt
+	w := &worker{sp: sp, id: id, stride: stride}
+	w.as = rt.master.AS.Clone()
+	// Workers see the read-only heap as truly read-only, and the
+	// reduction heap starts at the operator's identity.
+	w.as.SetProt(ir.HeapReadOnly, vm.ProtRead)
+	for _, ro := range rt.reduxObjs {
+		ident, err := Identity(ro.op, ro.elemSize)
+		if err != nil {
+			continue
+		}
+		for off := int64(0); off < ro.size; off += ro.elemSize {
+			// Errors here surface later as read failures; ignore.
+			_ = w.as.WriteBytes(ro.addr+uint64(off), ident)
+		}
+	}
+	w.it = interp.New(rt.Mod, w.as)
+	w.it.AdoptLayout(rt.master.GlobalLayout())
+	if rt.Cfg.StepLimit > 0 {
+		w.it.StepLimit = rt.Cfg.StepLimit
+	}
+	w.shortBaseline = w.as.LiveObjects(ir.HeapShortLived)
+	w.installHooks()
+	return w
+}
+
+func (w *worker) installHooks() {
+	rt := w.sp.rt
+	h := &w.it.Hooks
+	h.PrivateRead = func(in *ir.Instr, addr uint64, size int64) error {
+		t0 := time.Now()
+		err := w.privAccess(addr, size, false)
+		w.simPrivRead += size * SimPrivacyPerByte
+		atomic.AddInt64(&rt.Stats.PrivReadNS, int64(time.Since(t0)))
+		atomic.AddInt64(&rt.Stats.PrivReadBytes, size)
+		atomic.AddInt64(&rt.Stats.PrivReadChecks, 1)
+		return err
+	}
+	h.PrivateWrite = func(in *ir.Instr, addr uint64, size int64) error {
+		t0 := time.Now()
+		err := w.privAccess(addr, size, true)
+		w.simPrivWrite += size * SimPrivacyPerByte
+		atomic.AddInt64(&rt.Stats.PrivWriteNS, int64(time.Since(t0)))
+		atomic.AddInt64(&rt.Stats.PrivWriteBytes, size)
+		atomic.AddInt64(&rt.Stats.PrivWriteChecks, 1)
+		return err
+	}
+	h.CheckHeap = func(in *ir.Instr, addr uint64) error {
+		atomic.AddInt64(&rt.Stats.SeparationChecks, 1)
+		w.simOther += SimSeparationCheck
+		if addr != 0 && ir.HeapOf(addr) != in.Heap {
+			return &interp.MisspecError{Instr: in, Reason: "separation violated"}
+		}
+		return nil
+	}
+	h.Predict = func(in *ir.Instr, actual, expected uint64) error {
+		atomic.AddInt64(&rt.Stats.Predictions, 1)
+		w.simOther += SimPredict
+		if actual != expected {
+			return &interp.MisspecError{Instr: in, Reason: "value prediction failed"}
+		}
+		return nil
+	}
+	h.Misspec = func(in *ir.Instr) error {
+		return &interp.MisspecError{Instr: in, Reason: "control speculation violated"}
+	}
+	h.ReduxWrite = func(in *ir.Instr, addr uint64, size int64) error {
+		// Separation into the redux heap is validated by check_heap; the
+		// marker feeds accounting only.
+		return nil
+	}
+	h.OnPrint = func(in *ir.Instr, text string) bool {
+		w.io = append(w.io, ioRec{iter: w.curIter, text: text})
+		atomic.AddInt64(&rt.Stats.DeferredIO, 1)
+		return true
+	}
+}
+
+// privAccess applies Table 2 transitions to every byte of the access.
+func (w *worker) privAccess(addr uint64, size int64, isWrite bool) error {
+	for b := addr; b < addr+uint64(size); b++ {
+		sh := ir.ShadowAddr(b)
+		meta, err := w.as.Read(sh, 1)
+		if err != nil {
+			return err
+		}
+		var newMeta byte
+		var miss bool
+		if isWrite {
+			newMeta, miss = WriteTransition(byte(meta), w.curTS)
+		} else {
+			newMeta, miss = ReadTransition(byte(meta), w.curTS)
+		}
+		if miss {
+			return &interp.MisspecError{Reason: "privacy violated (fast phase)"}
+		}
+		if newMeta != byte(meta) {
+			if err := w.as.Write(sh, 1, uint64(newMeta)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resetShadow collapses the worker's timestamps to old-write after a
+// checkpoint contribution.
+func (w *worker) resetShadow() {
+	w.as.HeapPages(ir.HeapShadow, func(base uint64, data []byte) {
+		for i, m := range data {
+			if m >= MetaTSBase {
+				data[i] = MetaOldWrite
+			}
+		}
+	})
+}
+
+// run executes the worker's share of the span: cyclically assigned
+// iterations, a checkpoint contribution per interval, misspeculation checks
+// after every iteration.
+func (w *worker) run() error {
+	sp := w.sp
+	rt := sp.rt
+	busyStart := time.Now()
+	defer func() {
+		atomic.AddInt64(&rt.Stats.WorkerBusyNS, int64(time.Since(busyStart)))
+	}()
+	callArgs := make([]uint64, 1+len(sp.live))
+	copy(callArgs[1:], sp.live)
+
+	nIntervals := (sp.hi - sp.start + sp.k - 1) / sp.k
+	for c := int64(0); c < nIntervals; c++ {
+		if sp.flagged.Load() {
+			if mi := sp.misspecInterval(); mi >= 0 && c >= mi {
+				return nil // squash: past the failed checkpoint
+			}
+		}
+		base := sp.start + c*sp.k
+		limit := base + sp.k
+		if limit > sp.hi {
+			limit = sp.hi
+		}
+		for i := base + int64(w.id); i < limit; i += int64(w.stride) {
+			w.curIter = i
+			w.curTS = TimestampFor(i, base)
+			callArgs[0] = uint64(i)
+			_, err := w.it.Call(sp.ri.Outline.IterFn, callArgs...)
+			if err != nil {
+				var fault *vm.Fault
+				if interp.IsMisspec(err) || errors.As(err, &fault) {
+					// Memory-protection faults during speculation (a store
+					// into the read-only heap, say) are misspeculations:
+					// the paper's workers take the same path on SIGSEGV.
+					sp.flag(i)
+					return nil
+				}
+				return err
+			}
+			// Object-lifetime speculation: short-lived objects must die
+			// by the end of their iteration.
+			w.simOther += SimShortLivedCheck
+			if w.as.LiveObjects(ir.HeapShortLived) != w.shortBaseline {
+				sp.flag(i)
+				return nil
+			}
+			// Artificial misspeculation injection (Figure 9).
+			if rt.inject(i) {
+				sp.flag(i)
+				return nil
+			}
+			// Consult the global flag after each iteration.
+			if sp.flagged.Load() {
+				if mi := sp.misspecInterval(); mi >= 0 && c >= mi {
+					return nil
+				}
+			}
+		}
+		// Contribute this interval's state to its checkpoint.
+		cpStart := time.Now()
+		cp := sp.checkpointFor(c)
+		ok, scanned := cp.addWorkerState(w.as, rt.reduxObjs, w.io)
+		w.simCheckpoint += scanned * SimCheckpointPerByte
+		w.io = nil
+		w.resetShadow()
+		atomic.AddInt64(&rt.Stats.CheckpointNS, int64(time.Since(cpStart)))
+		if !ok {
+			sp.flag(base) // conservatively restart the whole interval
+			return nil
+		}
+	}
+	return nil
+}

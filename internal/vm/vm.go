@@ -1,0 +1,450 @@
+// Package vm simulates the virtual-memory substrate the Privateer runtime
+// is built on: per-process page tables, copy-on-write page duplication, page
+// protections, and logical heaps placed at fixed virtual addresses whose
+// 3-bit heap tag occupies address bits 44-46.
+//
+// The paper implements this with POSIX shm_open/mmap and worker processes;
+// here each worker owns an AddressSpace value. Cloning an AddressSpace marks
+// every page copy-on-write, so a worker's writes are isolated from its
+// parent exactly as fork-style COW isolates processes, and "several calls to
+// mmap" during recovery becomes copying page-table entries from a checkpoint.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"privateer/internal/ir"
+)
+
+// PageSize is the simulated page size in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Prot is a page-protection mode.
+type Prot uint8
+
+const (
+	// ProtNone forbids all access.
+	ProtNone Prot = iota
+	// ProtRead allows loads only.
+	ProtRead
+	// ProtReadWrite allows loads and stores.
+	ProtReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtReadWrite:
+		return "rw-"
+	}
+	return "???"
+}
+
+// Fault describes an invalid memory access.
+type Fault struct {
+	// Addr is the faulting virtual address.
+	Addr uint64
+	// Write distinguishes store faults from load faults.
+	Write bool
+	// Reason explains the fault.
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	kind := "load"
+	if f.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("memory fault: %s at %#x (%s heap): %s",
+		kind, f.Addr, ir.HeapOf(f.Addr), f.Reason)
+}
+
+type page struct {
+	data [PageSize]byte
+}
+
+type pageEntry struct {
+	pg *page
+	// cow marks the page as shared with another address space; the first
+	// write duplicates it.
+	cow bool
+}
+
+// heapState is the allocator state of one logical heap.
+type heapState struct {
+	// brk is the bump pointer (next unallocated address).
+	brk uint64
+	// free maps a rounded size class to a free list of addresses.
+	free map[uint64][]uint64
+	// objects tracks live allocations (address -> size) for free() and
+	// for object-count queries.
+	objects map[uint64]uint64
+	// liveCount is the number of live allocations (len(objects), cached
+	// for hot paths).
+	liveCount int
+	// allocBytes totals bytes ever allocated from this heap.
+	allocBytes uint64
+}
+
+func newHeapState(h ir.HeapKind) *heapState {
+	return &heapState{
+		// Skip the first page so address 0 (and small offsets) stay
+		// unmapped: null-pointer dereferences must fault.
+		brk:     h.Base() + PageSize,
+		free:    map[uint64][]uint64{},
+		objects: map[uint64]uint64{},
+	}
+}
+
+func (hs *heapState) clone() *heapState {
+	c := &heapState{
+		brk:        hs.brk,
+		free:       make(map[uint64][]uint64, len(hs.free)),
+		objects:    make(map[uint64]uint64, len(hs.objects)),
+		liveCount:  hs.liveCount,
+		allocBytes: hs.allocBytes,
+	}
+	for k, v := range hs.free {
+		c.free[k] = append([]uint64(nil), v...)
+	}
+	for k, v := range hs.objects {
+		c.objects[k] = v
+	}
+	return c
+}
+
+// Stats counts memory-system events, exposed for the paper's overhead
+// accounting (Figure 8) and for tests.
+type Stats struct {
+	// PagesMapped counts demand-zero page instantiations.
+	PagesMapped int64
+	// PagesCopied counts copy-on-write duplications.
+	PagesCopied int64
+	// BytesRead and BytesWritten total access volume.
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// AddressSpace is one simulated process's view of memory: a page table plus
+// per-heap allocator state and protections.
+type AddressSpace struct {
+	pages map[uint64]*pageEntry // keyed by addr >> PageShift
+	heaps [ir.NumHeaps]*heapState
+	prot  [ir.NumHeaps]Prot
+
+	// Stats accumulates event counts; shared pointer across clones when
+	// cloned with CloneSharingStats.
+	Stats *Stats
+}
+
+// NewAddressSpace returns an empty address space with every heap mapped
+// read-write and empty.
+func NewAddressSpace() *AddressSpace {
+	as := &AddressSpace{pages: map[uint64]*pageEntry{}, Stats: &Stats{}}
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		as.heaps[h] = newHeapState(h)
+		as.prot[h] = ProtReadWrite
+	}
+	return as
+}
+
+// Clone returns a copy-on-write duplicate of the address space, as fork
+// would produce: both spaces share physical pages until either writes.
+func (as *AddressSpace) Clone() *AddressSpace {
+	c := &AddressSpace{pages: make(map[uint64]*pageEntry, len(as.pages)), Stats: &Stats{}}
+	for k, e := range as.pages {
+		e.cow = true
+		c.pages[k] = &pageEntry{pg: e.pg, cow: true}
+	}
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		c.heaps[h] = as.heaps[h].clone()
+		c.prot[h] = as.prot[h]
+	}
+	return c
+}
+
+// SetProt sets the protection of an entire logical heap, the granularity at
+// which Privateer manipulates page maps.
+func (as *AddressSpace) SetProt(h ir.HeapKind, p Prot) { as.prot[h] = p }
+
+// ProtOf returns the protection of heap h.
+func (as *AddressSpace) ProtOf(h ir.HeapKind) Prot { return as.prot[h] }
+
+// pageFor returns the page containing addr, instantiating a demand-zero page
+// if needed; forWrite resolves copy-on-write.
+func (as *AddressSpace) pageFor(addr uint64, forWrite bool) *page {
+	key := addr >> PageShift
+	e := as.pages[key]
+	if e == nil {
+		e = &pageEntry{pg: &page{}}
+		as.pages[key] = e
+		as.Stats.PagesMapped++
+		return e.pg
+	}
+	if forWrite && e.cow {
+		dup := &page{data: e.pg.data}
+		e.pg = dup
+		e.cow = false
+		as.Stats.PagesCopied++
+	}
+	return e.pg
+}
+
+func (as *AddressSpace) checkProt(addr uint64, size uint64, write bool) error {
+	h := ir.HeapOf(addr)
+	p := as.prot[h]
+	if p == ProtNone || (write && p != ProtReadWrite) {
+		return &Fault{Addr: addr, Write: write, Reason: "protection " + p.String()}
+	}
+	// Guard the unmapped null page of the system heap.
+	if addr < PageSize {
+		return &Fault{Addr: addr, Write: write, Reason: "null page"}
+	}
+	return nil
+}
+
+// ReadBytes copies size bytes starting at addr into dst.
+func (as *AddressSpace) ReadBytes(addr uint64, dst []byte) error {
+	if err := as.checkProt(addr, uint64(len(dst)), false); err != nil {
+		return err
+	}
+	as.Stats.BytesRead += int64(len(dst))
+	for len(dst) > 0 {
+		off := addr & (PageSize - 1)
+		n := uint64(PageSize) - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		pg := as.pageFor(addr, false)
+		copy(dst[:n], pg.data[off:off+n])
+		dst = dst[n:]
+		addr += n
+	}
+	return nil
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (as *AddressSpace) WriteBytes(addr uint64, src []byte) error {
+	if err := as.checkProt(addr, uint64(len(src)), true); err != nil {
+		return err
+	}
+	as.Stats.BytesWritten += int64(len(src))
+	for len(src) > 0 {
+		off := addr & (PageSize - 1)
+		n := uint64(PageSize) - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		pg := as.pageFor(addr, true)
+		copy(pg.data[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+	return nil
+}
+
+// Read loads size (1, 2, 4 or 8) bytes at addr as a little-endian,
+// zero-extended word.
+func (as *AddressSpace) Read(addr uint64, size int64) (uint64, error) {
+	if err := as.checkProt(addr, uint64(size), false); err != nil {
+		return 0, err
+	}
+	as.Stats.BytesRead += size
+	off := addr & (PageSize - 1)
+	if off+uint64(size) <= PageSize {
+		pg := as.pageFor(addr, false)
+		b := pg.data[off:]
+		switch size {
+		case 1:
+			return uint64(b[0]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(b)), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(b)), nil
+		case 8:
+			return binary.LittleEndian.Uint64(b), nil
+		}
+	}
+	var buf [8]byte
+	as.Stats.BytesRead -= size // ReadBytes re-counts
+	if err := as.ReadBytes(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]) & sizeMask(size), nil
+}
+
+// Write stores the low size bytes of val at addr, little-endian.
+func (as *AddressSpace) Write(addr uint64, size int64, val uint64) error {
+	if err := as.checkProt(addr, uint64(size), true); err != nil {
+		return err
+	}
+	as.Stats.BytesWritten += size
+	off := addr & (PageSize - 1)
+	if off+uint64(size) <= PageSize {
+		pg := as.pageFor(addr, true)
+		b := pg.data[off:]
+		switch size {
+		case 1:
+			b[0] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(b, uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(b, uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(b, val)
+		}
+		return nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	as.Stats.BytesWritten -= size // WriteBytes re-counts
+	return as.WriteBytes(addr, buf[:size])
+}
+
+// ReadF64 loads an IEEE binary64 at addr.
+func (as *AddressSpace) ReadF64(addr uint64) (float64, error) {
+	w, err := as.Read(addr, 8)
+	return math.Float64frombits(w), err
+}
+
+// WriteF64 stores an IEEE binary64 at addr.
+func (as *AddressSpace) WriteF64(addr uint64, v float64) error {
+	return as.Write(addr, 8, math.Float64bits(v))
+}
+
+func sizeMask(size int64) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (8 * size)) - 1
+}
+
+const allocAlign = 16
+
+// Alloc carves size bytes out of logical heap h and returns the object's
+// base address. Objects never span a heap boundary and inherit the heap's
+// address tag.
+func (as *AddressSpace) Alloc(h ir.HeapKind, size uint64) (uint64, error) {
+	if size == 0 {
+		size = 1
+	}
+	hs := as.heaps[h]
+	rounded := (size + allocAlign - 1) &^ uint64(allocAlign-1)
+	var addr uint64
+	if lst := hs.free[rounded]; len(lst) > 0 {
+		addr = lst[len(lst)-1]
+		hs.free[rounded] = lst[:len(lst)-1]
+	} else {
+		addr = hs.brk
+		hs.brk += rounded
+		if ir.HeapOf(hs.brk) != h {
+			return 0, fmt.Errorf("vm: heap %s exhausted (16 TB)", h)
+		}
+	}
+	hs.objects[addr] = rounded
+	hs.liveCount++
+	hs.allocBytes += size
+	return addr, nil
+}
+
+// Free releases the object at addr, which must have been returned by Alloc
+// on the same (or an ancestor) address space.
+func (as *AddressSpace) Free(addr uint64) error {
+	h := ir.HeapOf(addr)
+	hs := as.heaps[h]
+	rounded, live := hs.objects[addr]
+	if !live {
+		return fmt.Errorf("vm: free of non-allocated address %#x (%s heap)", addr, h)
+	}
+	delete(hs.objects, addr)
+	hs.liveCount--
+	hs.free[rounded] = append(hs.free[rounded], addr)
+	return nil
+}
+
+// ObjectSize returns the rounded size of the live object at addr, or 0.
+func (as *AddressSpace) ObjectSize(addr uint64) uint64 {
+	return as.heaps[ir.HeapOf(addr)].objects[addr]
+}
+
+// LiveObjects returns the number of live allocations in heap h, used to
+// validate short-lived object lifetimes at iteration boundaries.
+func (as *AddressSpace) LiveObjects(h ir.HeapKind) int { return as.heaps[h].liveCount }
+
+// AllocatedBytes returns total bytes ever allocated from heap h.
+func (as *AddressSpace) AllocatedBytes(h ir.HeapKind) uint64 { return as.heaps[h].allocBytes }
+
+// Brk returns the bump pointer of heap h (its high-water mark).
+func (as *AddressSpace) Brk(h ir.HeapKind) uint64 { return as.heaps[h].brk }
+
+// ResetHeap discards all allocations and contents of heap h, returning it to
+// its initial empty state (fresh pages on next touch).
+func (as *AddressSpace) ResetHeap(h ir.HeapKind) {
+	as.heaps[h] = newHeapState(h)
+	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
+	for k := range as.pages {
+		if k >= lo && k < hi {
+			delete(as.pages, k)
+		}
+	}
+}
+
+// CopyHeapFrom replaces this space's view of heap h with src's, sharing
+// pages copy-on-write. This is the simulated equivalent of the recovery
+// path's "several calls to mmap" that install a checkpoint's heap images.
+func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
+	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
+	for k := range as.pages {
+		if k >= lo && k < hi {
+			delete(as.pages, k)
+		}
+	}
+	for k, e := range src.pages {
+		if k >= lo && k < hi {
+			e.cow = true
+			as.pages[k] = &pageEntry{pg: e.pg, cow: true}
+		}
+	}
+	as.heaps[h] = src.heaps[h].clone()
+}
+
+// DirtyPages calls visit for every page this address space owns privately —
+// pages written since the last Clone (COW-resolved) or newly instantiated.
+// The data slice aliases live memory and must not be retained.
+func (as *AddressSpace) DirtyPages(visit func(base uint64, data []byte)) {
+	for k, e := range as.pages {
+		if !e.cow {
+			visit(k<<PageShift, e.pg.data[:])
+		}
+	}
+}
+
+// PageData returns the contents of the page containing addr without
+// instantiating it; ok is false for never-touched pages (all zero).
+func (as *AddressSpace) PageData(addr uint64) ([]byte, bool) {
+	e := as.pages[addr>>PageShift]
+	if e == nil {
+		return nil, false
+	}
+	return e.pg.data[:], true
+}
+
+// HeapPages calls visit for every instantiated page of heap h with the
+// page's base address and contents. The contents slice aliases live memory
+// and must not be retained.
+func (as *AddressSpace) HeapPages(h ir.HeapKind, visit func(base uint64, data []byte)) {
+	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
+	for k, e := range as.pages {
+		if k >= lo && k < hi {
+			visit(k<<PageShift, e.pg.data[:])
+		}
+	}
+}
