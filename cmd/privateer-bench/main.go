@@ -21,20 +21,21 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"all, table1, table3, fig6, fig7, fig8, fig9, or ablation")
+			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, or micro")
 		input    = flag.String("input", "", "input class override: train, ref, alt")
 		quick    = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
 		programs = flag.String("programs", "", "comma-separated subset of benchmarks")
 		workers  = flag.Int("workers", 0, "machine size override for fig7/fig9")
+		jsonOut  = flag.Bool("json", false, "machine-readable output (micro only)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *input, *quick, *programs, *workers); err != nil {
+	if err := run(*experiment, *input, *quick, *programs, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, input string, quick bool, programs string, workers int) error {
+func run(experiment, input string, quick bool, programs string, workers int, jsonOut bool) error {
 	cfg := bench.DefaultConfig()
 	if quick {
 		cfg = bench.QuickConfig()
@@ -51,6 +52,18 @@ func run(experiment, input string, quick bool, programs string, workers int) err
 
 	if experiment == "table1" {
 		fmt.Println(bench.Table1())
+		return nil
+	}
+	if experiment == "micro" {
+		rep, err := bench.RunMicro()
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(rep.JSON())
+		} else {
+			fmt.Println(rep.Format())
+		}
 		return nil
 	}
 	suite, err := bench.NewSuite(cfg)

@@ -90,7 +90,9 @@ func (bl *Baseline) invoke(master *interp.Interp, r *Region, args []uint64) erro
 	interps := make([]*interp.Interp, workers)
 	for w := 0; w < workers; w++ {
 		spaces[w] = master.AS.Clone()
-		interps[w] = interp.New(master.Mod, spaces[w])
+		// Workers reuse the master's decoded program; the per-invocation
+		// cost is the COW clone, not re-decoding the region functions.
+		interps[w] = interp.NewShared(master.Program(), spaces[w])
 		interps[w].AdoptLayout(master.GlobalLayout())
 	}
 	bl.Stats.Spawn += time.Since(spawnStart)

@@ -1,0 +1,105 @@
+package interp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"privateer/internal/interp"
+	"privateer/internal/randprog"
+	"privateer/internal/vm"
+)
+
+// TestDecodedMatchesTreeWalk runs randomly generated programs through both
+// executors — the pre-decoded dispatch loop and the tree-walking reference —
+// and requires bit-identical results: same return value, same output, same
+// exact step count, same error.
+func TestDecodedMatchesTreeWalk(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := randprog.DefaultConfig(seed)
+			iters := uint64(cfg.Iterations)
+
+			mod := randprog.Generate(cfg)
+			fast := interp.New(mod, vm.NewAddressSpace())
+			fastRet, fastErr := fast.Run(iters)
+
+			slow := interp.New(randprog.Generate(cfg), vm.NewAddressSpace())
+			slow.SetTreeWalk(true)
+			slowRet, slowErr := slow.Run(iters)
+
+			if (fastErr == nil) != (slowErr == nil) {
+				t.Fatalf("error mismatch: decoded=%v tree-walk=%v", fastErr, slowErr)
+			}
+			if fastErr != nil && fastErr.Error() != slowErr.Error() {
+				t.Fatalf("error text mismatch:\n decoded:   %v\n tree-walk: %v", fastErr, slowErr)
+			}
+			if fastRet != slowRet {
+				t.Errorf("return value: decoded=%d tree-walk=%d", fastRet, slowRet)
+			}
+			if fast.Out.String() != slow.Out.String() {
+				t.Errorf("output mismatch:\n decoded:   %.200q\n tree-walk: %.200q",
+					fast.Out.String(), slow.Out.String())
+			}
+			if fast.Steps != slow.Steps {
+				t.Errorf("step count: decoded=%d tree-walk=%d", fast.Steps, slow.Steps)
+			}
+		})
+	}
+}
+
+// TestDecodedStepLimitParity pins that both executors abort at exactly the
+// same instruction with the same error when a step budget runs out.
+func TestDecodedStepLimitParity(t *testing.T) {
+	cfg := randprog.DefaultConfig(3)
+	iters := uint64(cfg.Iterations)
+	for _, limit := range []int64{1, 10, 100, 1000} {
+		fast := interp.New(randprog.Generate(cfg), vm.NewAddressSpace())
+		fast.StepLimit = limit
+		_, fastErr := fast.Run(iters)
+
+		slow := interp.New(randprog.Generate(cfg), vm.NewAddressSpace())
+		slow.SetTreeWalk(true)
+		slow.StepLimit = limit
+		_, slowErr := slow.Run(iters)
+
+		if fastErr == nil || slowErr == nil {
+			t.Fatalf("limit %d: expected both to abort, got decoded=%v tree-walk=%v",
+				limit, fastErr, slowErr)
+		}
+		if fastErr.Error() != slowErr.Error() {
+			t.Errorf("limit %d error text:\n decoded:   %v\n tree-walk: %v",
+				limit, fastErr, slowErr)
+		}
+		if fast.Steps != slow.Steps {
+			t.Errorf("limit %d steps at abort: decoded=%d tree-walk=%d",
+				limit, fast.Steps, slow.Steps)
+		}
+	}
+}
+
+// TestSharedProgramReuse pins that interpreters sharing one decoded Program
+// behave identically to interpreters that decode independently.
+func TestSharedProgramReuse(t *testing.T) {
+	cfg := randprog.DefaultConfig(7)
+	iters := uint64(cfg.Iterations)
+	mod := randprog.Generate(cfg)
+
+	ref := interp.New(mod, vm.NewAddressSpace())
+	refRet, refErr := ref.Run(iters)
+	if refErr != nil {
+		t.Fatalf("reference run: %v", refErr)
+	}
+
+	for i := 0; i < 3; i++ {
+		it := interp.NewShared(ref.Program(), vm.NewAddressSpace())
+		ret, err := it.Run(iters)
+		if err != nil {
+			t.Fatalf("shared run %d: %v", i, err)
+		}
+		if ret != refRet || it.Out.String() != ref.Out.String() || it.Steps != ref.Steps {
+			t.Errorf("shared run %d diverged: ret=%d/%d steps=%d/%d",
+				i, ret, refRet, it.Steps, ref.Steps)
+		}
+	}
+}

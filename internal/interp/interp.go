@@ -111,12 +111,43 @@ type Interp struct {
 
 	globalsLaidOut bool
 	globalAddrs    map[*ir.Global]uint64
+
+	// prog is the shared pre-decoded form of Mod (see decode.go).
+	// Interpreters built with NewShared reuse the creator's cache, so each
+	// function decodes once per run rather than once per worker.
+	prog *Program
+	// treeWalk forces the tree-walking reference executor; the pre-decoded
+	// dispatch loop is the default. Differential tests (and -tags=slowpath
+	// builds) flip it to compare the two paths.
+	treeWalk bool
+	// hookMask is the active-hook bitmask of the current activation (see
+	// exec_fast.go); recomputed on every call so the dispatch loop tests a
+	// register instead of thirteen function pointers per instruction.
+	hookMask uint32
 }
 
 // New returns an interpreter for mod over as.
 func New(mod *ir.Module, as *vm.AddressSpace) *Interp {
-	return &Interp{Mod: mod, AS: as, Out: &strings.Builder{}, globalAddrs: map[*ir.Global]uint64{}}
+	return &Interp{Mod: mod, AS: as, Out: &strings.Builder{}, globalAddrs: map[*ir.Global]uint64{},
+		prog: NewProgram(mod), treeWalk: !defaultDecode}
 }
+
+// NewShared returns an interpreter over as that reuses prog's decode cache.
+// The speculative runtime constructs its workers this way so the master's
+// decoded functions are shared rather than re-derived per worker.
+func NewShared(prog *Program, as *vm.AddressSpace) *Interp {
+	it := New(prog.Mod, as)
+	it.prog = prog
+	return it
+}
+
+// Program exposes the interpreter's decode cache for sharing via NewShared.
+func (it *Interp) Program() *Program { return it.prog }
+
+// SetTreeWalk forces (true) or releases (false) the tree-walking reference
+// executor. Differential tests use it to check the decoded dispatch path
+// against the original semantics instruction for instruction.
+func (it *Interp) SetTreeWalk(on bool) { it.treeWalk = on }
 
 // LayOutGlobals allocates every module global into its assigned heap and
 // writes initial contents. It runs automatically before the first call; the
@@ -196,14 +227,32 @@ func (it *Interp) call(fn *ir.Function, args []uint64, caller *Frame) (uint64, e
 	if len(args) != len(fn.Params) {
 		return 0, fmt.Errorf("interp: %s wants %d args, got %d", fn.Name, len(fn.Params), len(args))
 	}
-	fr := &Frame{Fn: fn, Depth: depth, Caller: caller, vals: make([]uint64, fn.NumValues())}
+	var df *decodedFunc
+	nvals := fn.NumValues()
+	if !it.treeWalk {
+		// Decoded frames carry the function's folded-constant pool in the
+		// tail of the value array (see decode.go).
+		df = it.prog.decodedFor(fn)
+		nvals = df.frameSize
+	}
+	fr := &Frame{Fn: fn, Depth: depth, Caller: caller, vals: make([]uint64, nvals)}
 	for i, p := range fn.Params {
 		fr.vals[p.ValueID()] = args[i]
+	}
+	if df != nil && len(df.pool) > 0 {
+		copy(fr.vals[len(fr.vals)-len(df.pool):], df.pool)
 	}
 	if it.Hooks.OnEnter != nil {
 		it.Hooks.OnEnter(fr)
 	}
-	ret, err := it.exec(fr)
+	var ret uint64
+	var err error
+	if df == nil {
+		ret, err = it.exec(fr)
+	} else {
+		it.hookMask = it.computeHookMask()
+		ret, err = it.execDecoded(fr, df)
+	}
 	// Release stack allocations regardless of how the activation ends.
 	for _, a := range fr.allocas {
 		if it.Hooks.OnFree != nil {

@@ -1,0 +1,9 @@
+//go:build !slowpath
+
+package interp
+
+// defaultDecode selects the pre-decoded dispatch executor for new
+// interpreters. Build with -tags=slowpath to flip every interpreter to the
+// tree-walking reference executor (the original implementation) for
+// differential testing.
+const defaultDecode = true

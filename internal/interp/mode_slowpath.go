@@ -1,0 +1,7 @@
+//go:build slowpath
+
+package interp
+
+// defaultDecode is false under -tags=slowpath: every interpreter uses the
+// tree-walking reference executor instead of the pre-decoded dispatch loop.
+const defaultDecode = false

@@ -44,10 +44,13 @@ type checkpoint struct {
 	// untouched this interval).
 	data   map[uint64][]byte
 	shadow map[uint64][]byte
-	// redux accumulates worker contributions per reduction object;
-	// snapshots are cumulative per worker, so the accumulator reflects
-	// all iterations up to this interval.
-	redux map[uint64][]byte
+	// redux holds each worker's contribution per reduction object, keyed
+	// by worker id; snapshots are cumulative per worker, so an object's
+	// contributions reflect all iterations up to this interval. They are
+	// folded together in worker-id order at install time: combination
+	// order must not depend on goroutine scheduling, or floating-point
+	// reductions would produce schedule-dependent low bits.
+	redux map[uint64]map[int][]byte
 	// io collects deferred output of the interval.
 	io []ioRec
 	// contributed counts workers that added their state.
@@ -63,7 +66,7 @@ func newCheckpoint(id, base, limit int64, prev *checkpoint) *checkpoint {
 		id: id, base: base, limit: limit, prev: prev,
 		data:   map[uint64][]byte{},
 		shadow: map[uint64][]byte{},
-		redux:  map[uint64][]byte{},
+		redux:  map[uint64]map[int][]byte{},
 	}
 }
 
@@ -81,7 +84,7 @@ func (cp *checkpoint) ownPage(m map[uint64][]byte, base uint64) []byte {
 // The worker's shadow must reflect the current interval only (timestamps
 // are relative to cp.base). It returns false if the merge detects a privacy
 // violation.
-func (cp *checkpoint) addWorkerState(ws *vm.AddressSpace, reduxObjs []reduxObj, io []ioRec) (bool, int64) {
+func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []reduxObj, io []ioRec) (bool, int64) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	ok := true
@@ -124,26 +127,47 @@ func (cp *checkpoint) addWorkerState(ws *vm.AddressSpace, reduxObjs []reduxObj, 
 			cp.misspec = true
 			continue
 		}
-		acc, have := cp.redux[ro.addr]
+		contribs, have := cp.redux[ro.addr]
 		if !have {
-			id, err := Identity(ro.op, ro.elemSize)
-			if err != nil {
-				ok = false
-				continue
-			}
-			acc = make([]byte, ro.size)
-			for off := int64(0); off < ro.size; off += ro.elemSize {
-				copy(acc[off:off+ro.elemSize], id)
-			}
-			cp.redux[ro.addr] = acc
+			contribs = map[int][]byte{}
+			cp.redux[ro.addr] = contribs
 		}
-		if err := Combine(ro.op, ro.elemSize, acc, buf); err != nil {
-			ok = false
-		}
+		contribs[wid] = buf
 	}
 	cp.io = append(cp.io, io...)
 	cp.contributed++
 	return ok, scanned
+}
+
+// reduxTotal folds the checkpoint's contributions for ro in ascending
+// worker-id order, starting from the operator's identity. The fixed fold
+// order keeps floating-point reductions bit-deterministic regardless of the
+// order workers happened to contribute. Returns nil if no worker
+// contributed.
+func (cp *checkpoint) reduxTotal(ro reduxObj) ([]byte, error) {
+	contribs := cp.redux[ro.addr]
+	if len(contribs) == 0 {
+		return nil, nil
+	}
+	id, err := Identity(ro.op, ro.elemSize)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]byte, ro.size)
+	for off := int64(0); off < ro.size; off += ro.elemSize {
+		copy(acc[off:off+ro.elemSize], id)
+	}
+	wids := make([]int, 0, len(contribs))
+	for w := range contribs {
+		wids = append(wids, w)
+	}
+	sort.Ints(wids)
+	for _, w := range wids {
+		if err := Combine(ro.op, ro.elemSize, acc, contribs[w]); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
 }
 
 // sortedIO returns the interval's deferred output in iteration order.
@@ -227,8 +251,11 @@ func (cp *checkpoint) installInto(master *vm.AddressSpace, reduxObjs []reduxObj)
 		}
 	}
 	for _, ro := range reduxObjs {
-		contrib, have := cp.redux[ro.addr]
-		if !have {
+		contrib, err := cp.reduxTotal(ro)
+		if err != nil {
+			return bytes, err
+		}
+		if contrib == nil {
 			continue
 		}
 		cur := make([]byte, ro.size)

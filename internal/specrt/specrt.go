@@ -314,7 +314,7 @@ func (rt *RT) sequentialRange(ri *RegionInfo, from, to int64, live []uint64) err
 	if from >= to {
 		return nil
 	}
-	it := interp.New(rt.Mod, rt.master.AS)
+	it := interp.NewShared(rt.master.Program(), rt.master.AS)
 	it.AdoptLayout(rt.master.GlobalLayout())
 	if rt.Cfg.StepLimit > 0 {
 		it.StepLimit = rt.Cfg.StepLimit

@@ -195,7 +195,9 @@ func (w *worker) simTime() int64 {
 func newWorker(sp *spanState, id, stride int) *worker {
 	rt := sp.rt
 	w := &worker{sp: sp, id: id, stride: stride}
-	w.as = rt.master.AS.Clone()
+	// Workers share the master's Stats so fork-style page-copy counts
+	// aggregate across the fleet (Figure 8 accounting).
+	w.as = rt.master.AS.CloneSharingStats()
 	// Workers see the read-only heap as truly read-only, and the
 	// reduction heap starts at the operator's identity.
 	w.as.SetProt(ir.HeapReadOnly, vm.ProtRead)
@@ -209,7 +211,9 @@ func newWorker(sp *spanState, id, stride int) *worker {
 			_ = w.as.WriteBytes(ro.addr+uint64(off), ident)
 		}
 	}
-	w.it = interp.New(rt.Mod, w.as)
+	// Sharing the master's decoded program means each region function is
+	// pre-decoded once per run, not once per worker per span.
+	w.it = interp.NewShared(rt.master.Program(), w.as)
 	w.it.AdoptLayout(rt.master.GlobalLayout())
 	if rt.Cfg.StepLimit > 0 {
 		w.it.StepLimit = rt.Cfg.StepLimit
@@ -373,7 +377,7 @@ func (w *worker) run() error {
 		// Contribute this interval's state to its checkpoint.
 		cpStart := time.Now()
 		cp := sp.checkpointFor(c)
-		ok, scanned := cp.addWorkerState(w.as, rt.reduxObjs, w.io)
+		ok, scanned := cp.addWorkerState(w.id, w.as, rt.reduxObjs, w.io)
 		w.simCheckpoint += scanned * SimCheckpointPerByte
 		w.io = nil
 		w.resetShadow()

@@ -1,0 +1,258 @@
+package vm
+
+import (
+	"testing"
+
+	"privateer/internal/ir"
+)
+
+// The software TLB must never outlive the mappings it caches. Each test in
+// this file first warms a translation, then performs the operation that is
+// required to invalidate it, and finally checks that the next access behaves
+// as if the TLB did not exist.
+
+func TestTLBSetProtInvalidation(t *testing.T) {
+	as := NewAddressSpace()
+	addr, _ := as.Alloc(ir.HeapReadOnly, 64)
+	if err := as.Write(addr, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Warm both read and write translations.
+	if _, err := as.Read(addr, 8); err != nil {
+		t.Fatal(err)
+	}
+	as.SetProt(ir.HeapReadOnly, ProtRead)
+	if err := as.Write(addr, 8, 43); err == nil {
+		t.Error("store through cached write translation after SetProt(ProtRead) must fault")
+	}
+	if v, err := as.Read(addr, 8); err != nil || v != 42 {
+		t.Errorf("read after protect = %d, %v; want 42, nil", v, err)
+	}
+	as.SetProt(ir.HeapReadOnly, ProtNone)
+	if _, err := as.Read(addr, 8); err == nil {
+		t.Error("load through cached read translation after SetProt(ProtNone) must fault")
+	}
+	// Re-enable and confirm the value survived the protection round-trip.
+	as.SetProt(ir.HeapReadOnly, ProtReadWrite)
+	if v, err := as.Read(addr, 8); err != nil || v != 42 {
+		t.Errorf("read after re-enable = %d, %v; want 42, nil", v, err)
+	}
+}
+
+func TestTLBResetHeapInvalidation(t *testing.T) {
+	as := NewAddressSpace()
+	addr, _ := as.Alloc(ir.HeapShortLived, 64)
+	if err := as.Write(addr, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.Read(addr, 8); v != 7 {
+		t.Fatalf("warm-up read = %d, want 7", v)
+	}
+	as.ResetHeap(ir.HeapShortLived)
+	b, _ := as.Alloc(ir.HeapShortLived, 64)
+	if b != addr {
+		t.Fatalf("reset heap should restart at the same base: %#x vs %#x", b, addr)
+	}
+	// A stale TLB entry would still point at the old page holding 7.
+	if v, _ := as.Read(b, 8); v != 0 {
+		t.Errorf("read after ResetHeap = %d, want 0 (stale TLB entry?)", v)
+	}
+	if err := as.Write(b, 8, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.Read(b, 8); v != 9 {
+		t.Errorf("write after ResetHeap lost: read = %d, want 9", v)
+	}
+}
+
+func TestTLBCopyHeapFromInvalidation(t *testing.T) {
+	src := NewAddressSpace()
+	addr, _ := src.Alloc(ir.HeapPrivate, 16)
+	if err := src.Write(addr, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewAddressSpace()
+	// dst diverges at the same address and warms its own translations.
+	if err := dst.Write(addr, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.Read(addr, 8); v != 1 {
+		t.Fatalf("dst warm-up read = %d, want 1", v)
+	}
+	dst.CopyHeapFrom(src, ir.HeapPrivate)
+	// dst's cached translations pointed at its old private page.
+	if v, _ := dst.Read(addr, 8); v != 42 {
+		t.Errorf("dst read after CopyHeapFrom = %d, want 42 (stale TLB entry?)", v)
+	}
+	// src's cached *write* translation pointed at a page that is now shared
+	// with dst; a store through it would corrupt dst's view.
+	if err := src.Write(addr, 8, 77); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dst.Read(addr, 8); v != 42 {
+		t.Errorf("src write leaked into dst: read = %d, want 42", v)
+	}
+	if v, _ := src.Read(addr, 8); v != 77 {
+		t.Errorf("src read-back = %d, want 77", v)
+	}
+}
+
+func TestTLBCOWResolutionInClone(t *testing.T) {
+	parent := NewAddressSpace()
+	addr, _ := parent.Alloc(ir.HeapPrivate, 8)
+	if err := parent.Write(addr, 8, 111); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.Clone()
+	// Child read caches a translation to the page it still shares with the
+	// parent.
+	if v, _ := child.Read(addr, 8); v != 111 {
+		t.Fatalf("child initial read = %d, want 111", v)
+	}
+	// The write COW-resolves; both the write and the earlier read
+	// translation must now name the private duplicate.
+	if err := child.Write(addr, 8, 222); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := child.Read(addr, 8); v != 222 {
+		t.Errorf("child read after COW resolve = %d, want 222 (stale read entry?)", v)
+	}
+	if v, _ := parent.Read(addr, 8); v != 111 {
+		t.Errorf("parent disturbed by child write: %d", v)
+	}
+	// The parent's pre-clone write translation was flushed at Clone time;
+	// writing through it now must COW-resolve, not hit the shared page.
+	if err := parent.Write(addr, 8, 333); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := child.Read(addr, 8); v != 222 {
+		t.Errorf("parent write leaked into child: %d", v)
+	}
+}
+
+func TestTLBCrossPageUnaligned(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.Alloc(ir.HeapPrivate, 4*PageSize)
+	// Warm single-page translations on both sides of the boundary.
+	if err := as.Write(base+PageSize-8, 8, 0x1111111111111111); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(base+PageSize, 8, 0x2222222222222222); err != nil {
+		t.Fatal(err)
+	}
+	// A straddling access must take the byte path and see both halves.
+	straddle := base + PageSize - 3
+	want := uint64(0x2222222222111111)
+	if v, err := as.Read(straddle, 8); err != nil || v != want {
+		t.Errorf("cross-page read = %#x, %v; want %#x, nil", v, err, want)
+	}
+	// A straddling write updates both pages even with warm TLB entries.
+	if err := as.Write(straddle, 8, 0xaabbccddeeff0011); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := as.Read(straddle, 8); v != 0xaabbccddeeff0011 {
+		t.Errorf("cross-page read-back = %#x", v)
+	}
+	// Odd sizes (3, 5, 6, 7) stay off the fast path; verify round-trip.
+	for _, size := range []int64{3, 5, 6, 7} {
+		val := uint64(0x1122334455667788) & sizeMask(size)
+		if err := as.Write(base+17, size, val); err != nil {
+			t.Fatalf("odd size %d write: %v", size, err)
+		}
+		if v, _ := as.Read(base+17, size); v != val {
+			t.Errorf("odd size %d: got %#x want %#x", size, v, val)
+		}
+	}
+}
+
+// Lazy cloning must not change the observable PagesCopied/PagesMapped
+// accounting: reads stay free, each first write to a shared page costs
+// exactly one copy, and DirtyPages reports nothing until a write happens.
+func TestLazyClonePagesCopiedSemantics(t *testing.T) {
+	parent := NewAddressSpace()
+	base, _ := parent.Alloc(ir.HeapPrivate, 8*PageSize)
+	for p := uint64(0); p < 8; p++ {
+		if err := parent.Write(base+p*PageSize, 8, p+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	child := parent.Clone()
+	for p := uint64(0); p < 8; p++ {
+		if v, _ := child.Read(base+p*PageSize, 8); v != p+1 {
+			t.Fatalf("page %d content wrong: %d", p, v)
+		}
+	}
+	if child.Stats.PagesCopied != 0 {
+		t.Errorf("reads caused %d page copies, want 0", child.Stats.PagesCopied)
+	}
+	dirty := 0
+	child.DirtyPages(func(base uint64, data []byte) { dirty++ })
+	if dirty != 0 {
+		t.Errorf("DirtyPages visited %d pages before any write, want 0", dirty)
+	}
+	if err := child.Write(base, 8, 999); err != nil {
+		t.Fatal(err)
+	}
+	if child.Stats.PagesCopied != 1 {
+		t.Errorf("one write caused %d page copies, want 1", child.Stats.PagesCopied)
+	}
+	child.DirtyPages(func(pb uint64, data []byte) {
+		dirty++
+		if pb != base&^uint64(PageSize-1) {
+			t.Errorf("DirtyPages visited %#x, want %#x", pb, base&^uint64(PageSize-1))
+		}
+	})
+	if dirty != 1 {
+		t.Errorf("DirtyPages visited %d pages after one write, want 1", dirty)
+	}
+	// Rewriting the same page must not double-count.
+	if err := child.Write(base+8, 8, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if child.Stats.PagesCopied != 1 {
+		t.Errorf("second write to same page: %d copies, want 1", child.Stats.PagesCopied)
+	}
+}
+
+// CloneSharingStats children account their page events into the parent's
+// Stats structure, so fork-style overhead counts aggregate across a worker
+// fleet (the paper's Figure 8 accounting).
+func TestCloneSharingStatsAggregates(t *testing.T) {
+	parent := NewAddressSpace()
+	base, _ := parent.Alloc(ir.HeapPrivate, 4*PageSize)
+	for p := uint64(0); p < 4; p++ {
+		if err := parent.Write(base+p*PageSize, 8, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copiedBefore := parent.Stats.PagesCopied
+	mappedBefore := parent.Stats.PagesMapped
+
+	children := []*AddressSpace{parent.CloneSharingStats(), parent.CloneSharingStats()}
+	for i, c := range children {
+		if c.Stats != parent.Stats {
+			t.Fatalf("child %d has its own Stats; want the parent's", i)
+		}
+		// One COW resolution per child.
+		if err := c.Write(base+uint64(i)*PageSize, 8, 100+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		// One demand-zero instantiation per child.
+		if err := c.Write(base+uint64(4+i)*PageSize, 8, 200+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := parent.Stats.PagesCopied - copiedBefore; got != 2 {
+		t.Errorf("aggregated PagesCopied delta = %d, want 2", got)
+	}
+	if got := parent.Stats.PagesMapped - mappedBefore; got != 2 {
+		t.Errorf("aggregated PagesMapped delta = %d, want 2", got)
+	}
+	// Isolation still holds despite the shared accounting.
+	if v, _ := parent.Read(base, 8); v != 0 {
+		t.Errorf("parent disturbed by child writes: %d", v)
+	}
+	if v, _ := children[0].Read(base, 8); v != 100 {
+		t.Errorf("child 0 lost its write: %d", v)
+	}
+}

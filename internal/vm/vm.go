@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"privateer/internal/ir"
 )
@@ -133,16 +134,72 @@ type Stats struct {
 	BytesWritten int64
 }
 
+// tlbEntry is one cached translation of the software TLB: page number to
+// resolved page. A read entry proves the translation passed its protection
+// check; a write entry additionally proves the page is privately owned
+// (copy-on-write already resolved), so a hit may store directly.
+type tlbEntry struct {
+	pn uint64
+	pg *page
+}
+
+// tlbSize is the number of direct-mapped TLB entries (a power of two).
+const tlbSize = 64
+
 // AddressSpace is one simulated process's view of memory: a page table plus
 // per-heap allocator state and protections.
 type AddressSpace struct {
 	pages map[uint64]*pageEntry // keyed by addr >> PageShift
-	heaps [ir.NumHeaps]*heapState
-	prot  [ir.NumHeaps]Prot
+	// pagesShared marks the page table as shared with one or more clones
+	// (lazy copy-on-write cloning): every page is then implicitly COW and
+	// the table is materialized privately before any mutation. A map
+	// referenced by two or more spaces is never mutated.
+	pagesShared bool
+	heaps       [ir.NumHeaps]*heapState
+	prot        [ir.NumHeaps]Prot
+
+	// rtlb and wtlb are small direct-mapped software TLBs consulted before
+	// the page map: rtlb caches protection-checked read translations, wtlb
+	// caches write translations to privately owned pages. Both are flushed
+	// on Clone, SetProt, ResetHeap and CopyHeapFrom; COW resolution updates
+	// the affected entry in place.
+	rtlb [tlbSize]tlbEntry
+	wtlb [tlbSize]tlbEntry
 
 	// Stats accumulates event counts; shared pointer across clones when
-	// cloned with CloneSharingStats.
+	// cloned with CloneSharingStats (updates then go through atomics so
+	// concurrent worker clones may aggregate into one structure).
 	Stats *Stats
+	// statsAtomic selects atomic Stats updates; set once Stats may be
+	// shared with concurrently executing clones.
+	statsAtomic bool
+}
+
+// addStat bumps one Stats counter, atomically when the Stats structure may
+// be shared with concurrently executing clones.
+func (as *AddressSpace) addStat(p *int64, n int64) {
+	if as.statsAtomic {
+		atomic.AddInt64(p, n)
+	} else {
+		*p += n
+	}
+}
+
+// flushTLB drops every cached translation.
+func (as *AddressSpace) flushTLB() {
+	as.rtlb = [tlbSize]tlbEntry{}
+	as.wtlb = [tlbSize]tlbEntry{}
+}
+
+// materialize gives a space sharing its page table a private copy, with
+// every page marked copy-on-write — the deferred half of lazy cloning.
+func (as *AddressSpace) materialize() {
+	m := make(map[uint64]*pageEntry, len(as.pages))
+	for k, e := range as.pages {
+		m[k] = &pageEntry{pg: e.pg, cow: true}
+	}
+	as.pages = m
+	as.pagesShared = false
 }
 
 // NewAddressSpace returns an empty address space with every heap mapped
@@ -158,12 +215,14 @@ func NewAddressSpace() *AddressSpace {
 
 // Clone returns a copy-on-write duplicate of the address space, as fork
 // would produce: both spaces share physical pages until either writes.
+// Cloning is lazy: parent and child share the page table itself, and each
+// side materializes a private table (all pages marked COW) only on its
+// first page-table mutation, so spawning a read-mostly worker costs O(heap
+// allocator state), not O(mapped pages).
 func (as *AddressSpace) Clone() *AddressSpace {
-	c := &AddressSpace{pages: make(map[uint64]*pageEntry, len(as.pages)), Stats: &Stats{}}
-	for k, e := range as.pages {
-		e.cow = true
-		c.pages[k] = &pageEntry{pg: e.pg, cow: true}
-	}
+	as.pagesShared = true
+	as.flushTLB()
+	c := &AddressSpace{pages: as.pages, pagesShared: true, Stats: &Stats{}}
 	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
 		c.heaps[h] = as.heaps[h].clone()
 		c.prot[h] = as.prot[h]
@@ -171,29 +230,63 @@ func (as *AddressSpace) Clone() *AddressSpace {
 	return c
 }
 
+// CloneSharingStats is Clone, except the child accumulates into the
+// parent's Stats structure instead of a fresh one. The speculative runtime
+// spawns its workers this way so fork-style page-copy counts aggregate
+// across the whole worker fleet (the paper's Figure 8 overhead accounting).
+// Both spaces switch to atomic Stats updates, since clones typically run on
+// concurrent worker goroutines.
+func (as *AddressSpace) CloneSharingStats() *AddressSpace {
+	as.statsAtomic = true
+	c := as.Clone()
+	c.Stats = as.Stats
+	c.statsAtomic = true
+	return c
+}
+
 // SetProt sets the protection of an entire logical heap, the granularity at
 // which Privateer manipulates page maps.
-func (as *AddressSpace) SetProt(h ir.HeapKind, p Prot) { as.prot[h] = p }
+func (as *AddressSpace) SetProt(h ir.HeapKind, p Prot) {
+	as.prot[h] = p
+	as.flushTLB()
+}
 
 // ProtOf returns the protection of heap h.
 func (as *AddressSpace) ProtOf(h ir.HeapKind) Prot { return as.prot[h] }
 
 // pageFor returns the page containing addr, instantiating a demand-zero page
-// if needed; forWrite resolves copy-on-write.
+// if needed; forWrite resolves copy-on-write. Callers must have passed
+// checkProt for the access: pageFor caches the translation in the TLB, and a
+// TLB hit implies the protection check already succeeded.
 func (as *AddressSpace) pageFor(addr uint64, forWrite bool) *page {
 	key := addr >> PageShift
+	if as.pagesShared {
+		// Reads of already-mapped pages may go through the shared table;
+		// any mutation (instantiation or COW resolution) first takes a
+		// private copy of it.
+		if e := as.pages[key]; e != nil && !forWrite {
+			as.rtlb[key&(tlbSize-1)] = tlbEntry{pn: key, pg: e.pg}
+			return e.pg
+		}
+		as.materialize()
+	}
 	e := as.pages[key]
 	if e == nil {
 		e = &pageEntry{pg: &page{}}
 		as.pages[key] = e
-		as.Stats.PagesMapped++
-		return e.pg
-	}
-	if forWrite && e.cow {
+		as.addStat(&as.Stats.PagesMapped, 1)
+	} else if forWrite && e.cow {
 		dup := &page{data: e.pg.data}
 		e.pg = dup
 		e.cow = false
-		as.Stats.PagesCopied++
+		as.addStat(&as.Stats.PagesCopied, 1)
+	}
+	idx := key & (tlbSize - 1)
+	// COW resolution replaced the page this space reads at key, so the
+	// read entry is refreshed alongside the write entry.
+	as.rtlb[idx] = tlbEntry{pn: key, pg: e.pg}
+	if forWrite {
+		as.wtlb[idx] = tlbEntry{pn: key, pg: e.pg}
 	}
 	return e.pg
 }
@@ -216,7 +309,7 @@ func (as *AddressSpace) ReadBytes(addr uint64, dst []byte) error {
 	if err := as.checkProt(addr, uint64(len(dst)), false); err != nil {
 		return err
 	}
-	as.Stats.BytesRead += int64(len(dst))
+	as.addStat(&as.Stats.BytesRead, int64(len(dst)))
 	for len(dst) > 0 {
 		off := addr & (PageSize - 1)
 		n := uint64(PageSize) - off
@@ -236,7 +329,7 @@ func (as *AddressSpace) WriteBytes(addr uint64, src []byte) error {
 	if err := as.checkProt(addr, uint64(len(src)), true); err != nil {
 		return err
 	}
-	as.Stats.BytesWritten += int64(len(src))
+	as.addStat(&as.Stats.BytesWritten, int64(len(src)))
 	for len(src) > 0 {
 		off := addr & (PageSize - 1)
 		n := uint64(PageSize) - off
@@ -251,30 +344,62 @@ func (as *AddressSpace) WriteBytes(addr uint64, src []byte) error {
 	return nil
 }
 
+// loadLE reads a size-byte (1, 2, 4 or 8) little-endian word from b.
+func loadLE(b []byte, size int64) uint64 {
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+// storeLE writes the low size (1, 2, 4 or 8) bytes of val to b,
+// little-endian.
+func storeLE(b []byte, size int64, val uint64) {
+	switch size {
+	case 1:
+		b[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(val))
+	default:
+		binary.LittleEndian.PutUint64(b, val)
+	}
+}
+
+// pow2Size reports whether size is a standard access width (1, 2, 4, 8).
+func pow2Size(size int64) bool {
+	return size > 0 && size <= 8 && size&(size-1) == 0
+}
+
 // Read loads size (1, 2, 4 or 8) bytes at addr as a little-endian,
 // zero-extended word.
 func (as *AddressSpace) Read(addr uint64, size int64) (uint64, error) {
+	off := addr & (PageSize - 1)
+	if off+uint64(size) <= PageSize && pow2Size(size) {
+		// Single-page aligned-width access: TLB hit skips the protection
+		// check (proven at fill time) and the page-map lookup.
+		pn := addr >> PageShift
+		if e := &as.rtlb[pn&(tlbSize-1)]; e.pn == pn && e.pg != nil {
+			as.addStat(&as.Stats.BytesRead, size)
+			return loadLE(e.pg.data[off:], size), nil
+		}
+		if err := as.checkProt(addr, uint64(size), false); err != nil {
+			return 0, err
+		}
+		as.addStat(&as.Stats.BytesRead, size)
+		return loadLE(as.pageFor(addr, false).data[off:], size), nil
+	}
 	if err := as.checkProt(addr, uint64(size), false); err != nil {
 		return 0, err
 	}
-	as.Stats.BytesRead += size
-	off := addr & (PageSize - 1)
-	if off+uint64(size) <= PageSize {
-		pg := as.pageFor(addr, false)
-		b := pg.data[off:]
-		switch size {
-		case 1:
-			return uint64(b[0]), nil
-		case 2:
-			return uint64(binary.LittleEndian.Uint16(b)), nil
-		case 4:
-			return uint64(binary.LittleEndian.Uint32(b)), nil
-		case 8:
-			return binary.LittleEndian.Uint64(b), nil
-		}
-	}
 	var buf [8]byte
-	as.Stats.BytesRead -= size // ReadBytes re-counts
 	if err := as.ReadBytes(addr, buf[:size]); err != nil {
 		return 0, err
 	}
@@ -283,29 +408,28 @@ func (as *AddressSpace) Read(addr uint64, size int64) (uint64, error) {
 
 // Write stores the low size bytes of val at addr, little-endian.
 func (as *AddressSpace) Write(addr uint64, size int64, val uint64) error {
+	off := addr & (PageSize - 1)
+	if off+uint64(size) <= PageSize && pow2Size(size) {
+		// A write-TLB hit proves the page is privately owned and the heap
+		// writable, so the store lands directly.
+		pn := addr >> PageShift
+		if e := &as.wtlb[pn&(tlbSize-1)]; e.pn == pn && e.pg != nil {
+			as.addStat(&as.Stats.BytesWritten, size)
+			storeLE(e.pg.data[off:], size, val)
+			return nil
+		}
+		if err := as.checkProt(addr, uint64(size), true); err != nil {
+			return err
+		}
+		as.addStat(&as.Stats.BytesWritten, size)
+		storeLE(as.pageFor(addr, true).data[off:], size, val)
+		return nil
+	}
 	if err := as.checkProt(addr, uint64(size), true); err != nil {
 		return err
 	}
-	as.Stats.BytesWritten += size
-	off := addr & (PageSize - 1)
-	if off+uint64(size) <= PageSize {
-		pg := as.pageFor(addr, true)
-		b := pg.data[off:]
-		switch size {
-		case 1:
-			b[0] = byte(val)
-		case 2:
-			binary.LittleEndian.PutUint16(b, uint16(val))
-		case 4:
-			binary.LittleEndian.PutUint32(b, uint32(val))
-		case 8:
-			binary.LittleEndian.PutUint64(b, val)
-		}
-		return nil
-	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], val)
-	as.Stats.BytesWritten -= size // WriteBytes re-counts
 	return as.WriteBytes(addr, buf[:size])
 }
 
@@ -388,6 +512,9 @@ func (as *AddressSpace) Brk(h ir.HeapKind) uint64 { return as.heaps[h].brk }
 // ResetHeap discards all allocations and contents of heap h, returning it to
 // its initial empty state (fresh pages on next touch).
 func (as *AddressSpace) ResetHeap(h ir.HeapKind) {
+	if as.pagesShared {
+		as.materialize()
+	}
 	as.heaps[h] = newHeapState(h)
 	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
 	for k := range as.pages {
@@ -395,12 +522,16 @@ func (as *AddressSpace) ResetHeap(h ir.HeapKind) {
 			delete(as.pages, k)
 		}
 	}
+	as.flushTLB()
 }
 
 // CopyHeapFrom replaces this space's view of heap h with src's, sharing
 // pages copy-on-write. This is the simulated equivalent of the recovery
 // path's "several calls to mmap" that install a checkpoint's heap images.
 func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
+	if as.pagesShared {
+		as.materialize()
+	}
 	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
 	for k := range as.pages {
 		if k >= lo && k < hi {
@@ -409,17 +540,26 @@ func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
 	}
 	for k, e := range src.pages {
 		if k >= lo && k < hi {
-			e.cow = true
+			// A shared table is already implicitly COW everywhere (and must
+			// not be mutated while other spaces reference it).
+			if !src.pagesShared {
+				e.cow = true
+			}
 			as.pages[k] = &pageEntry{pg: e.pg, cow: true}
 		}
 	}
 	as.heaps[h] = src.heaps[h].clone()
+	as.flushTLB()
+	src.flushTLB()
 }
 
 // DirtyPages calls visit for every page this address space owns privately —
 // pages written since the last Clone (COW-resolved) or newly instantiated.
 // The data slice aliases live memory and must not be retained.
 func (as *AddressSpace) DirtyPages(visit func(base uint64, data []byte)) {
+	if as.pagesShared {
+		return // table shared since the last Clone: nothing written
+	}
 	for k, e := range as.pages {
 		if !e.cow {
 			visit(k<<PageShift, e.pg.data[:])
