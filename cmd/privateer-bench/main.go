@@ -16,26 +16,29 @@ import (
 	"strings"
 
 	"privateer/internal/bench"
+	"privateer/internal/obs"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, or micro")
-		input    = flag.String("input", "", "input class override: train, ref, alt")
-		quick    = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
-		programs = flag.String("programs", "", "comma-separated subset of benchmarks")
-		workers  = flag.Int("workers", 0, "machine size override for fig7/fig9")
-		jsonOut  = flag.Bool("json", false, "machine-readable output (micro only)")
+		input     = flag.String("input", "", "input class override: train, ref, alt")
+		quick     = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
+		programs  = flag.String("programs", "", "comma-separated subset of benchmarks")
+		workers   = flag.Int("workers", 0, "machine size override for fig7/fig9")
+		jsonOut   = flag.Bool("json", false, "machine-readable output (micro only)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the speculation lifecycle")
+		eventsOut = flag.Bool("events", false, "print an event summary table after the experiment")
 	)
 	flag.Parse()
-	if err := run(*experiment, *input, *quick, *programs, *workers, *jsonOut); err != nil {
+	if err := run(*experiment, *input, *quick, *programs, *workers, *jsonOut, *traceOut, *eventsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, input string, quick bool, programs string, workers int, jsonOut bool) error {
+func run(experiment, input string, quick bool, programs string, workers int, jsonOut bool, traceOut string, eventsOut bool) error {
 	cfg := bench.DefaultConfig()
 	if quick {
 		cfg = bench.QuickConfig()
@@ -50,12 +53,50 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 		cfg.FixedWorkers = workers
 	}
 
+	// Tracing: events stream into a ring collector; after the experiment the
+	// retained window is exported and/or summarized.
+	var collector *obs.Collector
+	var tracer *obs.Tracer
+	if traceOut != "" || eventsOut {
+		collector = obs.NewCollector(1 << 16)
+		tracer = obs.NewTracer(collector)
+		cfg.Trace = tracer
+	}
+	finishTrace := func() error {
+		if collector == nil {
+			return nil
+		}
+		events := collector.Events()
+		if dropped := collector.Dropped(); dropped > 0 {
+			fmt.Fprintf(os.Stderr, "privateer-bench: trace ring overflowed; oldest %d of %d events dropped\n",
+				dropped, collector.Total())
+		}
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, events); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "privateer-bench: wrote %d events to %s\n", len(events), traceOut)
+		}
+		if eventsOut {
+			fmt.Println(obs.FormatSummary(events))
+		}
+		return nil
+	}
+
 	if experiment == "table1" {
 		fmt.Println(bench.Table1())
 		return nil
 	}
 	if experiment == "micro" {
-		rep, err := bench.RunMicro()
+		rep, err := bench.RunMicroTraced(tracer)
 		if err != nil {
 			return err
 		}
@@ -64,12 +105,17 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 		} else {
 			fmt.Println(rep.Format())
 		}
-		return nil
+		return finishTrace()
 	}
 	suite, err := bench.NewSuite(cfg)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "privateer-bench: trace:", err)
+		}
+	}()
 	switch experiment {
 	case "all":
 		out, err := suite.All()

@@ -18,6 +18,7 @@ import (
 
 	"privateer/internal/core"
 	"privateer/internal/interp"
+	"privateer/internal/obs"
 	"privateer/internal/progs"
 	"privateer/internal/specrt"
 	"privateer/internal/vm"
@@ -38,6 +39,9 @@ type Config struct {
 	FixedWorkers int
 	// Programs restricts the benchmark set (nil = all five).
 	Programs []string
+	// Trace receives speculation-lifecycle events from every speculative
+	// run the suite performs (nil disables tracing).
+	Trace *obs.Tracer
 }
 
 // DefaultConfig mirrors the paper's evaluation points.
@@ -74,6 +78,7 @@ type prepared struct {
 	seqSteps int64
 	par      *core.Parallelized
 	static   *core.StaticParallelized
+	trace    *obs.Tracer
 }
 
 // Suite prepares all benchmarks once and runs the experiments.
@@ -95,6 +100,7 @@ func NewSuite(cfg Config) (*Suite, error) {
 		if err != nil {
 			return nil, err
 		}
+		pr.trace = cfg.Trace
 		s.programs = append(s.programs, pr)
 	}
 	return s, nil
@@ -149,6 +155,9 @@ func prepare(p *progs.Program, inputName string) (*prepared, error) {
 
 // runPrivateer executes the speculative build and returns the runtime.
 func (pr *prepared) runPrivateer(cfg specrt.Config) (*specrt.RT, error) {
+	if cfg.Trace == nil {
+		cfg.Trace = pr.trace
+	}
 	rt, _, err := core.Run(pr.par, cfg)
 	return rt, err
 }

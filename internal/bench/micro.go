@@ -8,6 +8,7 @@ import (
 
 	"privateer/internal/interp"
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 	"privateer/internal/vm"
 )
 
@@ -258,7 +259,12 @@ func mkResult(name, unit string, ops int64, wall time.Duration) MicroResult {
 }
 
 // RunMicro executes every microbenchmark and returns the report.
-func RunMicro() (*MicroReport, error) {
+func RunMicro() (*MicroReport, error) { return RunMicroTraced(nil) }
+
+// RunMicroTraced is RunMicro with a span mark per benchmark on tr. The
+// benchmarks' own address spaces stay untraced — the marks bracket each
+// measurement without perturbing the measured paths.
+func RunMicroTraced(tr *obs.Tracer) (*MicroReport, error) {
 	benches := []func() (MicroResult, error){
 		microDispatch,
 		microDispatchShared,
@@ -268,9 +274,14 @@ func RunMicro() (*MicroReport, error) {
 	}
 	rep := &MicroReport{}
 	for _, b := range benches {
+		t0 := tr.Now()
 		r, err := b()
 		if err != nil {
 			return nil, err
+		}
+		if tr.On() {
+			tr.Emit(obs.Event{Kind: obs.KMark, TimeNS: t0, DurNS: tr.Now() - t0,
+				Invocation: -1, Worker: -1, Iter: -1, Cause: r.Name})
 		}
 		rep.Results = append(rep.Results, r)
 	}

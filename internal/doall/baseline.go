@@ -7,6 +7,7 @@ import (
 
 	"privateer/internal/interp"
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 	"privateer/internal/vm"
 )
 
@@ -49,6 +50,8 @@ type Baseline struct {
 	Regions map[*ir.Function]*Region
 	// Stats accumulates scheduler timing.
 	Stats BaselineStats
+	// Trace receives region and worker lifecycle events (nil disables).
+	Trace *obs.Tracer
 }
 
 // NewBaseline prepares a DOALL-only scheduler for the given regions.
@@ -75,6 +78,16 @@ func (bl *Baseline) Attach(master *interp.Interp) {
 func (bl *Baseline) invoke(master *interp.Interp, r *Region, args []uint64) error {
 	t0 := time.Now()
 	bl.Stats.Invocations++
+	inv := bl.Stats.Invocations - 1
+	tr := bl.Trace
+	if tr.On() {
+		ts := tr.Now()
+		defer func() {
+			tr.Emit(obs.Event{Kind: obs.KRegionInvoke, TimeNS: ts, DurNS: tr.Now() - ts,
+				Invocation: inv, Worker: -1, Iter: -1,
+				A: int64(args[0]), B: int64(args[1]), Cause: "doall"})
+		}()
+	}
 	lo, hi := int64(args[0]), int64(args[1])
 	live := args[2:]
 	if hi <= lo {
@@ -90,10 +103,14 @@ func (bl *Baseline) invoke(master *interp.Interp, r *Region, args []uint64) erro
 	interps := make([]*interp.Interp, workers)
 	for w := 0; w < workers; w++ {
 		spaces[w] = master.AS.Clone()
+		spaces[w].TraceWorker = w
+		spaces[w].TraceInv = inv
 		// Workers reuse the master's decoded program; the per-invocation
 		// cost is the COW clone, not re-decoding the region functions.
 		interps[w] = interp.NewShared(master.Program(), spaces[w])
 		interps[w].AdoptLayout(master.GlobalLayout())
+		tr.Instant(obs.Event{Kind: obs.KWorkerSpawn,
+			Invocation: inv, Worker: w, Iter: -1})
 	}
 	bl.Stats.Spawn += time.Since(spawnStart)
 

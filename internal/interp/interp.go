@@ -34,6 +34,15 @@ func (e *MisspecError) Error() string {
 	return "misspeculation: " + e.Reason
 }
 
+// Site names the instruction that detected the violation, or "" when the
+// misspeculation has no syntactic site (injection, lifetime checks).
+func (e *MisspecError) Site() string {
+	if e.Instr == nil {
+		return ""
+	}
+	return e.Instr.Format()
+}
+
 // IsMisspec reports whether err is (or wraps) a misspeculation.
 func IsMisspec(err error) bool {
 	var m *MisspecError

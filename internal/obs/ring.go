@@ -1,0 +1,82 @@
+package obs
+
+import "sync"
+
+// DefaultCapacity is the Collector's ring size when none is given: large
+// enough to hold a full micro-scale run, small enough (a few MB) to leave
+// resident without thought.
+const DefaultCapacity = 1 << 14
+
+// Collector is a fixed-capacity ring-buffered Sink: when full, the oldest
+// events are overwritten, so a long run keeps its most recent window. It is
+// safe for concurrent Emit from worker goroutines.
+type Collector struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int   // index of the slot the next event lands in
+	total   int64 // events ever emitted (including overwritten)
+	wrapped bool
+}
+
+// NewCollector returns a collector holding up to capacity events;
+// capacity <= 0 selects DefaultCapacity.
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{buf: make([]Event, capacity)}
+}
+
+// Emit records ev, overwriting the oldest event when the ring is full.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	c.buf[c.next] = ev
+	c.next++
+	if c.next == len(c.buf) {
+		c.next = 0
+		c.wrapped = true
+	}
+	c.total++
+	c.mu.Unlock()
+}
+
+// Events returns a snapshot of the retained events in emission order
+// (oldest first).
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.wrapped {
+		return append([]Event(nil), c.buf[:c.next]...)
+	}
+	out := make([]Event, 0, len(c.buf))
+	out = append(out, c.buf[c.next:]...)
+	return append(out, c.buf[:c.next]...)
+}
+
+// Total returns the number of events ever emitted, including any that the
+// ring has since overwritten.
+func (c *Collector) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Dropped returns how many events were overwritten before they could be
+// read.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.wrapped {
+		return 0
+	}
+	return c.total - int64(len(c.buf))
+}
+
+// Reset discards every retained event.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.next = 0
+	c.total = 0
+	c.wrapped = false
+	c.mu.Unlock()
+}

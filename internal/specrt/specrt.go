@@ -2,6 +2,7 @@ package specrt
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,10 +13,20 @@ import (
 	"privateer/internal/doall"
 	"privateer/internal/interp"
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 	"privateer/internal/profiling"
 	"privateer/internal/transform"
 	"privateer/internal/vm"
 )
+
+// DefaultMaxRecoveries is the per-invocation recovery budget when
+// Config.MaxRecoveries is zero. Each recovery makes forward progress, so
+// the budget is a policy knob, not a liveness requirement: past it the
+// invocation's remainder abandons speculation (a sequential fallback),
+// trading lost parallelism for an end to churn. The value comfortably
+// covers the paper's Figure 9 regime (up to ~20 expected misspeculations
+// per invocation at the highest injected rate).
+const DefaultMaxRecoveries = 32
 
 // Config controls a speculative run.
 type Config struct {
@@ -31,6 +42,11 @@ type Config struct {
 	// be frequent — an extension of the paper's fixed-period policy
 	// (section 5.2 discusses exactly this tension).
 	AdaptivePeriod bool
+	// MaxRecoveries bounds recovery episodes per invocation; past the
+	// budget the invocation's remainder runs sequentially and counts as a
+	// SequentialFallback. 0 selects DefaultMaxRecoveries; negative values
+	// disable the budget.
+	MaxRecoveries int
 	// MisspecRate injects artificial misspeculation at the given
 	// per-iteration probability (Figure 9). Zero disables injection.
 	MisspecRate float64
@@ -38,6 +54,9 @@ type Config struct {
 	Seed uint64
 	// StepLimit bounds each worker's interpreter (0 = default).
 	StepLimit int64
+	// Trace receives speculation-lifecycle events (nil disables tracing;
+	// every emission site is then a single branch).
+	Trace *obs.Tracer
 }
 
 // RegionInfo bundles the compiler artifacts for one parallel region.
@@ -64,7 +83,7 @@ type Stats struct {
 	// Recoveries counts sequential recovery episodes.
 	Recoveries int64
 	// SequentialFallbacks counts invocations abandoned to pure sequential
-	// execution after repeated misspeculation.
+	// execution after the per-invocation recovery budget was spent.
 	SequentialFallbacks int64
 	// PrivReadBytes and PrivWriteBytes total privacy-checked volume
 	// (Table 3's "Priv R"/"Priv W").
@@ -105,8 +124,12 @@ type RT struct {
 	out     strings.Builder
 	master  *interp.Interp
 
-	reduxMu   sync.Mutex
-	reduxObjs []reduxObj
+	reduxMu sync.Mutex
+	// reduxObjs tracks live reduction objects keyed by base address, so
+	// registration is O(1) and a free can remove its entry (a stale entry
+	// would make every later worker write identity bytes into dead or
+	// reallocated memory).
+	reduxObjs map[uint64]reduxObj
 }
 
 // New prepares a runtime for mod with the given regions.
@@ -114,7 +137,11 @@ func New(mod *ir.Module, cfg Config, regions ...*RegionInfo) *RT {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	rt := &RT{Cfg: cfg, Mod: mod, regions: map[*ir.Function]*RegionInfo{}}
+	rt := &RT{
+		Cfg: cfg, Mod: mod,
+		regions:   map[*ir.Function]*RegionInfo{},
+		reduxObjs: map[uint64]reduxObj{},
+	}
 	for _, r := range regions {
 		rt.regions[r.Outline.RegionFn] = r
 	}
@@ -128,6 +155,22 @@ func (rt *RT) Output() string { return rt.out.String() }
 // Master exposes the main process interpreter (after Run).
 func (rt *RT) Master() *interp.Interp { return rt.master }
 
+// onAlloc tracks reduction objects allocated dynamically into the redux
+// heap so worker heaps can be initialized to identity and merged.
+func (rt *RT) onAlloc(fr *interp.Frame, in *ir.Instr, addr, size uint64) {
+	if ir.HeapOf(addr) == ir.HeapRedux && in != nil {
+		rt.registerRedux(addr, int64(size), profiling.Object{Site: in})
+	}
+}
+
+// onFree removes a freed reduction object from the registry: its address
+// may be dead, or about to be reused by an unrelated allocation.
+func (rt *RT) onFree(fr *interp.Frame, in *ir.Instr, addr uint64) {
+	if ir.HeapOf(addr) == ir.HeapRedux {
+		rt.deregisterRedux(addr)
+	}
+}
+
 // Run executes the program from its entry function.
 func (rt *RT) Run(args ...uint64) (uint64, error) {
 	master := interp.New(rt.Mod, vm.NewAddressSpace())
@@ -135,17 +178,13 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 		master.StepLimit = rt.Cfg.StepLimit
 	}
 	rt.master = master
+	master.AS.Trace = rt.Cfg.Trace
 	master.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
 		rt.out.WriteString(text)
 		return true
 	}
-	// Track reduction objects allocated dynamically into the redux heap so
-	// worker heaps can be initialized to identity and merged.
-	master.Hooks.OnAlloc = func(fr *interp.Frame, in *ir.Instr, addr, size uint64) {
-		if ir.HeapOf(addr) == ir.HeapRedux && in != nil {
-			rt.registerRedux(addr, int64(size), profiling.Object{Site: in})
-		}
-	}
+	master.Hooks.OnAlloc = rt.onAlloc
+	master.Hooks.OnFree = rt.onFree
 	master.Hooks.CallOverride = func(fr *interp.Frame, in *ir.Instr, callee *ir.Function, args []uint64) (uint64, bool, error) {
 		ri := rt.regions[callee]
 		if ri == nil {
@@ -168,7 +207,9 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 }
 
 // registerRedux records a reduction object's operator and element size from
-// whichever region's assignment classified it.
+// whichever region's assignment classified it. Re-registering an address
+// (a reallocation after a free) replaces the entry, so the new object's
+// operator wins.
 func (rt *RT) registerRedux(addr uint64, size int64, obj profiling.Object) {
 	op := ir.ReduxAddI64
 	elem := int64(8)
@@ -182,13 +223,35 @@ func (rt *RT) registerRedux(addr uint64, size int64, obj profiling.Object) {
 		}
 	}
 	rt.reduxMu.Lock()
-	defer rt.reduxMu.Unlock()
+	rt.reduxObjs[addr] = reduxObj{addr: addr, size: size, elemSize: elem, op: op}
+	rt.reduxMu.Unlock()
+}
+
+// deregisterRedux drops the reduction object at addr, if registered.
+func (rt *RT) deregisterRedux(addr uint64) {
+	rt.reduxMu.Lock()
+	delete(rt.reduxObjs, addr)
+	rt.reduxMu.Unlock()
+}
+
+// reduxSnapshot returns the live reduction objects in address order: one
+// consistent, deterministic view per speculative span.
+func (rt *RT) reduxSnapshot() []reduxObj {
+	rt.reduxMu.Lock()
+	out := make([]reduxObj, 0, len(rt.reduxObjs))
 	for _, ro := range rt.reduxObjs {
-		if ro.addr == addr {
-			return
-		}
+		out = append(out, ro)
 	}
-	rt.reduxObjs = append(rt.reduxObjs, reduxObj{addr: addr, size: size, elemSize: elem, op: op})
+	rt.reduxMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// reduxCount returns the number of registered reduction objects (tests).
+func (rt *RT) reduxCount() int {
+	rt.reduxMu.Lock()
+	defer rt.reduxMu.Unlock()
+	return len(rt.reduxObjs)
 }
 
 // checkpointPeriod picks k for an invocation of total iterations.
@@ -206,10 +269,32 @@ func (rt *RT) checkpointPeriod(total int64) int64 {
 	return k
 }
 
+// maxRecoveries resolves the per-invocation recovery budget.
+func (rt *RT) maxRecoveries() int {
+	if rt.Cfg.MaxRecoveries == 0 {
+		return DefaultMaxRecoveries
+	}
+	return rt.Cfg.MaxRecoveries
+}
+
 // invoke runs one parallel region invocation: args are (lo, hi, live-ins).
 func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 	wallStart := time.Now()
-	atomic.AddInt64(&rt.Stats.Invocations, 1)
+	inv := atomic.AddInt64(&rt.Stats.Invocations, 1) - 1
+	// Wall time accounts once, on every exit path: clean completion,
+	// misspeculation-loop errors, and the sequential fallback alike.
+	defer func() {
+		atomic.AddInt64(&rt.Stats.RegionWallNS, int64(time.Since(wallStart)))
+	}()
+	tr := rt.Cfg.Trace
+	if tr.On() {
+		t0 := tr.Now()
+		defer func() {
+			tr.Emit(obs.Event{Kind: obs.KRegionInvoke, TimeNS: t0, DurNS: tr.Now() - t0,
+				Invocation: inv, Worker: -1, Iter: -1, A: int64(args[0]), B: int64(args[1])})
+		}()
+		rt.master.AS.TraceInv = inv
+	}
 	lo, hi := int64(args[0]), int64(args[1])
 	live := args[2:]
 	if hi <= lo {
@@ -217,15 +302,31 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 	}
 	k := rt.checkpointPeriod(hi - lo)
 
-	const maxRecoveries = 1 << 20 // every recovery makes forward progress
+	// The recovery budget is per invocation: a misspeculation-heavy region
+	// entry falls back to sequential execution for its own remainder
+	// without poisoning later invocations.
+	maxRec := rt.maxRecoveries()
+	recoveries := 0
 	start := lo
 	for start < hi {
+		if maxRec > 0 && recoveries >= maxRec {
+			atomic.AddInt64(&rt.Stats.SequentialFallbacks, 1)
+			tr.Instant(obs.Event{Kind: obs.KSeqFallback,
+				Invocation: inv, Worker: -1, Iter: -1, A: start, B: hi})
+			break
+		}
 		span := &spanState{
 			rt: rt, ri: ri, live: live,
 			start: start, hi: hi, k: k,
 			misspecIter: -1,
+			inv:         inv,
+			redux:       rt.reduxSnapshot(),
 		}
+		tr.Instant(obs.Event{Kind: obs.KSpanStart,
+			Invocation: inv, Worker: -1, Iter: -1, A: start, B: k})
 		lastValid, misspecAt, err := span.run()
+		tr.Instant(obs.Event{Kind: obs.KSpanEnd,
+			Invocation: inv, Worker: -1, Iter: -1, A: misspecAt, B: start})
 		if err != nil {
 			return err
 		}
@@ -233,60 +334,72 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 			// Clean completion: install the final checkpoint.
 			joinStart := time.Now()
 			if lastValid != nil {
-				bytes, err := lastValid.installInto(rt.master.AS, rt.reduxObjs)
-				if err != nil {
+				if err := rt.installCheckpoint(lastValid, span.redux, inv); err != nil {
 					return err
 				}
-				cost := bytes * SimInstallPerByte
-				atomic.AddInt64(&rt.Sim.RegionTime, cost)
-				atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
-				rt.commitChain(lastValid)
 			}
 			atomic.AddInt64(&rt.Stats.JoinNS, int64(time.Since(joinStart)))
-			atomic.AddInt64(&rt.Stats.RegionWallNS, int64(time.Since(wallStart)))
 			return nil
 		}
 		// Misspeculation: recover.
+		recoveries++
 		atomic.AddInt64(&rt.Stats.Recoveries, 1)
 		if lastValid != nil {
-			bytes, err := lastValid.installInto(rt.master.AS, rt.reduxObjs)
-			if err != nil {
+			if err := rt.installCheckpoint(lastValid, span.redux, inv); err != nil {
 				return err
 			}
-			cost := bytes * SimInstallPerByte
-			atomic.AddInt64(&rt.Sim.RegionTime, cost)
-			atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
-			rt.commitChain(lastValid)
 		}
 		redoFrom := start
 		if lastValid != nil {
 			redoFrom = lastValid.limit
 		}
+		tr.Instant(obs.Event{Kind: obs.KPhase,
+			Invocation: inv, Worker: -1, Iter: -1, Cause: "recover"})
+		recStart := tr.Now()
 		if err := rt.sequentialRange(ri, redoFrom, misspecAt+1, live); err != nil {
 			return err
+		}
+		if tr.On() {
+			tr.Emit(obs.Event{Kind: obs.KRecovery, TimeNS: recStart, DurNS: tr.Now() - recStart,
+				Invocation: inv, Worker: -1, Iter: -1, A: redoFrom, B: misspecAt + 1})
 		}
 		start = misspecAt + 1
 		if rt.Cfg.AdaptivePeriod && k > 1 {
 			k /= 2
 		}
-		if rt.Stats.Recoveries > maxRecoveries {
-			atomic.AddInt64(&rt.Stats.SequentialFallbacks, 1)
-			break
-		}
 	}
-	// Single worker or fallback: run the remainder sequentially.
+	// Fallback: run the remainder sequentially, checks disabled.
 	if start < hi {
 		if err := rt.sequentialRange(ri, start, hi, live); err != nil {
 			return err
 		}
 	}
-	atomic.AddInt64(&rt.Stats.RegionWallNS, int64(time.Since(wallStart)))
+	return nil
+}
+
+// installCheckpoint applies cp's chain to the master state, accounts the
+// simulated cost, and commits the chain's deferred output.
+func (rt *RT) installCheckpoint(cp *checkpoint, redux []reduxObj, inv int64) error {
+	tr := rt.Cfg.Trace
+	t0 := tr.Now()
+	bytes, err := cp.installInto(rt.master.AS, redux)
+	if err != nil {
+		return err
+	}
+	cost := bytes * SimInstallPerByte
+	atomic.AddInt64(&rt.Sim.RegionTime, cost)
+	atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+	if tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KInstall, TimeNS: t0, DurNS: tr.Now() - t0,
+			Invocation: inv, Worker: -1, Iter: cp.id, A: bytes})
+	}
+	rt.commitChain(cp, inv)
 	return nil
 }
 
 // commitChain commits every uncommitted checkpoint up to cp, emitting
 // deferred output in order.
-func (rt *RT) commitChain(cp *checkpoint) {
+func (rt *RT) commitChain(cp *checkpoint, inv int64) {
 	var chain []*checkpoint
 	for c := cp; c != nil; c = c.prev {
 		if c.committed {
@@ -294,6 +407,7 @@ func (rt *RT) commitChain(cp *checkpoint) {
 		}
 		chain = append(chain, c)
 	}
+	var committed int64
 	for i := len(chain) - 1; i >= 0; i-- {
 		c := chain[i]
 		recs := c.sortedIO()
@@ -303,13 +417,18 @@ func (rt *RT) commitChain(cp *checkpoint) {
 		cost := int64(len(recs)) * SimCommitPerIO
 		atomic.AddInt64(&rt.Sim.RegionTime, cost)
 		atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+		committed += int64(len(recs))
 		c.committed = true
+	}
+	if len(chain) > 0 {
+		rt.Cfg.Trace.Instant(obs.Event{Kind: obs.KCommit,
+			Invocation: inv, Worker: -1, Iter: cp.id, A: committed})
 	}
 }
 
 // sequentialRange executes iterations [from, to) non-speculatively on the
 // master state with every check disabled — the recovery path, and the
-// single-worker mode.
+// fallback mode.
 func (rt *RT) sequentialRange(ri *RegionInfo, from, to int64, live []uint64) error {
 	if from >= to {
 		return nil
@@ -323,6 +442,10 @@ func (rt *RT) sequentialRange(ri *RegionInfo, from, to int64, live []uint64) err
 		rt.out.WriteString(text)
 		return true
 	}
+	// Recovery mutates master state directly, so the redux registry must
+	// track allocations and frees it performs.
+	it.Hooks.OnAlloc = rt.onAlloc
+	it.Hooks.OnFree = rt.onFree
 	noop := func(in *ir.Instr, addr uint64, size int64) error { return nil }
 	it.Hooks.PrivateRead = noop
 	it.Hooks.PrivateWrite = noop

@@ -2,12 +2,14 @@ package specrt
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"privateer/internal/interp"
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 	"privateer/internal/vm"
 )
 
@@ -19,6 +21,12 @@ type spanState struct {
 	live []uint64
 	// start and hi bound the span's iterations; k is the checkpoint period.
 	start, hi, k int64
+	// inv is the enclosing region invocation's sequence number.
+	inv int64
+	// redux is the registry snapshot the span works against: one consistent,
+	// address-ordered view shared by worker init, checkpoint merges and
+	// install, immune to concurrent registry changes.
+	redux []reduxObj
 
 	mu          sync.Mutex
 	checkpoints []*checkpoint
@@ -30,8 +38,9 @@ type spanState struct {
 	misspecIter int64
 }
 
-// flag records a misspeculation at iteration i, keeping the earliest.
-func (sp *spanState) flag(i int64) {
+// flag records a misspeculation at iteration i by worker wid, keeping the
+// earliest.
+func (sp *spanState) flag(i int64, wid int, cause, site string) {
 	sp.flagMu.Lock()
 	if sp.misspecIter < 0 || i < sp.misspecIter {
 		sp.misspecIter = i
@@ -39,6 +48,8 @@ func (sp *spanState) flag(i int64) {
 	sp.flagMu.Unlock()
 	sp.flagged.Store(true)
 	atomic.AddInt64(&sp.rt.Stats.Misspecs, 1)
+	sp.rt.Cfg.Trace.Instant(obs.Event{Kind: obs.KMisspec,
+		Invocation: sp.inv, Worker: wid, Iter: i, Cause: cause, Site: site})
 }
 
 // misspecInterval returns the interval id of the earliest misspeculation,
@@ -70,8 +81,23 @@ func (sp *spanState) checkpointFor(c int64) *checkpoint {
 		}
 		sp.checkpoints = append(sp.checkpoints, newCheckpoint(id, base, limit, prev))
 		atomic.AddInt64(&sp.rt.Stats.Checkpoints, 1)
+		sp.rt.Cfg.Trace.Instant(obs.Event{Kind: obs.KCheckpoint,
+			Invocation: sp.inv, Worker: -1, Iter: id, A: base, B: limit})
 	}
 	return sp.checkpoints[c]
+}
+
+// validate runs the second-phase cross-interval chain validation over the
+// checkpoints up to last, with tracing.
+func (sp *spanState) validate(last *checkpoint) int64 {
+	tr := sp.rt.Cfg.Trace
+	t0 := tr.Now()
+	c := last.crossValidate()
+	if tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KValidate, TimeNS: t0, DurNS: tr.Now() - t0,
+			Invocation: sp.inv, Worker: -1, Iter: last.id, A: c})
+	}
+	return c
 }
 
 // run executes the span. It returns the last fully valid checkpoint (nil if
@@ -79,14 +105,23 @@ func (sp *spanState) checkpointFor(c int64) *checkpoint {
 // finish), and any hard error.
 func (sp *spanState) run() (*checkpoint, int64, error) {
 	rt := sp.rt
+	tr := rt.Cfg.Trace
 	workers := rt.Cfg.Workers
 	if total := sp.hi - sp.start; int64(workers) > total {
 		workers = int(total)
 	}
+	tr.Instant(obs.Event{Kind: obs.KPhase,
+		Invocation: sp.inv, Worker: -1, Iter: -1, Cause: "fast"})
 	spawnStart := time.Now()
 	ws := make([]*worker, workers)
 	for w := 0; w < workers; w++ {
-		ws[w] = newWorker(sp, w, workers)
+		wk, err := newWorker(sp, w, workers)
+		if err != nil {
+			return nil, -1, err
+		}
+		ws[w] = wk
+		tr.Instant(obs.Event{Kind: obs.KWorkerSpawn,
+			Invocation: sp.inv, Worker: w, Iter: -1})
 	}
 	atomic.AddInt64(&rt.Stats.SpawnNS, int64(time.Since(spawnStart)))
 
@@ -96,7 +131,12 @@ func (sp *spanState) run() (*checkpoint, int64, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			t0 := tr.Now()
 			errs[w] = ws[w].run()
+			if tr.On() {
+				tr.Emit(obs.Event{Kind: obs.KWorkerJoin, TimeNS: t0, DurNS: tr.Now() - t0,
+					Invocation: sp.inv, Worker: w, Iter: -1})
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -128,13 +168,18 @@ func (sp *spanState) run() (*checkpoint, int64, error) {
 	atomic.AddInt64(&sim.RegionCapacity, int64(workers)*spanTime)
 	atomic.AddInt64(&sim.SpawnCost, spawn+join)
 
+	tr.Instant(obs.Event{Kind: obs.KPhase,
+		Invocation: sp.inv, Worker: -1, Iter: -1, Cause: "validate"})
 	nIntervals := (sp.hi - sp.start + sp.k - 1) / sp.k
 	if !sp.flagged.Load() {
 		last := sp.checkpointFor(nIntervals - 1)
 		// Second-phase cross-interval privacy validation over the whole
 		// chain (the span has quiesced, so every contribution is in).
-		if c := last.crossValidate(); c >= 0 {
+		if c := sp.validate(last); c >= 0 {
 			atomic.AddInt64(&rt.Stats.Misspecs, 1)
+			tr.Instant(obs.Event{Kind: obs.KMisspec, Invocation: sp.inv,
+				Worker: -1, Iter: sp.checkpointFor(c).limit - 1,
+				Cause: "privacy violated (cross-interval)"})
 			lv, at := sp.resolveMisspec(c, sp.checkpointFor(c).limit-1)
 			return lv, at, nil
 		}
@@ -147,8 +192,11 @@ func (sp *spanState) run() (*checkpoint, int64, error) {
 	// The valid prefix may itself hide a cross-interval violation; take
 	// the earliest.
 	if mi > 0 {
-		if c := sp.checkpointFor(mi - 1).crossValidate(); c >= 0 && c < mi {
+		if c := sp.validate(sp.checkpointFor(mi - 1)); c >= 0 && c < mi {
 			atomic.AddInt64(&rt.Stats.Misspecs, 1)
+			tr.Instant(obs.Event{Kind: obs.KMisspec, Invocation: sp.inv,
+				Worker: -1, Iter: sp.checkpointFor(c).limit - 1,
+				Cause: "privacy violated (cross-interval)"})
 			lv, at := sp.resolveMisspec(c, sp.checkpointFor(c).limit-1)
 			return lv, at, nil
 		}
@@ -192,23 +240,27 @@ func (w *worker) simTime() int64 {
 	return w.it.Steps + w.simPrivRead + w.simPrivWrite + w.simCheckpoint + w.simOther
 }
 
-func newWorker(sp *spanState, id, stride int) *worker {
+func newWorker(sp *spanState, id, stride int) (*worker, error) {
 	rt := sp.rt
 	w := &worker{sp: sp, id: id, stride: stride}
 	// Workers share the master's Stats so fork-style page-copy counts
 	// aggregate across the fleet (Figure 8 accounting).
 	w.as = rt.master.AS.CloneSharingStats()
+	w.as.TraceWorker = id
 	// Workers see the read-only heap as truly read-only, and the
-	// reduction heap starts at the operator's identity.
+	// reduction heap starts at the operator's identity. A failure here
+	// means the worker would speculate from a corrupt base state — that is
+	// a hard error, not something to discover later as a bogus result.
 	w.as.SetProt(ir.HeapReadOnly, vm.ProtRead)
-	for _, ro := range rt.reduxObjs {
+	for _, ro := range sp.redux {
 		ident, err := Identity(ro.op, ro.elemSize)
 		if err != nil {
-			continue
+			return nil, fmt.Errorf("specrt: worker %d: redux %#x identity: %w", id, ro.addr, err)
 		}
 		for off := int64(0); off < ro.size; off += ro.elemSize {
-			// Errors here surface later as read failures; ignore.
-			_ = w.as.WriteBytes(ro.addr+uint64(off), ident)
+			if err := w.as.WriteBytes(ro.addr+uint64(off), ident); err != nil {
+				return nil, fmt.Errorf("specrt: worker %d: redux %#x init: %w", id, ro.addr, err)
+			}
 		}
 	}
 	// Sharing the master's decoded program means each region function is
@@ -220,7 +272,7 @@ func newWorker(sp *spanState, id, stride int) *worker {
 	}
 	w.shortBaseline = w.as.LiveObjects(ir.HeapShortLived)
 	w.installHooks()
-	return w
+	return w, nil
 }
 
 func (w *worker) installHooks() {
@@ -314,12 +366,27 @@ func (w *worker) resetShadow() {
 	})
 }
 
+// misspecCause classifies a squashing error for the trace: the violated
+// property and the instruction that detected it.
+func misspecCause(err error) (cause, site string) {
+	var m *interp.MisspecError
+	if errors.As(err, &m) {
+		return m.Reason, m.Site()
+	}
+	var fault *vm.Fault
+	if errors.As(err, &fault) {
+		return "memory protection fault", fmt.Sprintf("%#x", fault.Addr)
+	}
+	return err.Error(), ""
+}
+
 // run executes the worker's share of the span: cyclically assigned
 // iterations, a checkpoint contribution per interval, misspeculation checks
 // after every iteration.
 func (w *worker) run() error {
 	sp := w.sp
 	rt := sp.rt
+	tr := rt.Cfg.Trace
 	busyStart := time.Now()
 	defer func() {
 		atomic.AddInt64(&rt.Stats.WorkerBusyNS, int64(time.Since(busyStart)))
@@ -350,7 +417,8 @@ func (w *worker) run() error {
 					// Memory-protection faults during speculation (a store
 					// into the read-only heap, say) are misspeculations:
 					// the paper's workers take the same path on SIGSEGV.
-					sp.flag(i)
+					cause, site := misspecCause(err)
+					sp.flag(i, w.id, cause, site)
 					return nil
 				}
 				return err
@@ -359,12 +427,12 @@ func (w *worker) run() error {
 			// by the end of their iteration.
 			w.simOther += SimShortLivedCheck
 			if w.as.LiveObjects(ir.HeapShortLived) != w.shortBaseline {
-				sp.flag(i)
+				sp.flag(i, w.id, "short-lived object escaped", "")
 				return nil
 			}
 			// Artificial misspeculation injection (Figure 9).
 			if rt.inject(i) {
-				sp.flag(i)
+				sp.flag(i, w.id, "injected", "")
 				return nil
 			}
 			// Consult the global flag after each iteration.
@@ -377,13 +445,15 @@ func (w *worker) run() error {
 		// Contribute this interval's state to its checkpoint.
 		cpStart := time.Now()
 		cp := sp.checkpointFor(c)
-		ok, scanned := cp.addWorkerState(w.id, w.as, rt.reduxObjs, w.io)
+		ok, scanned := cp.addWorkerState(w.id, w.as, sp.redux, w.io)
 		w.simCheckpoint += scanned * SimCheckpointPerByte
 		w.io = nil
 		w.resetShadow()
 		atomic.AddInt64(&rt.Stats.CheckpointNS, int64(time.Since(cpStart)))
+		tr.Instant(obs.Event{Kind: obs.KContribute,
+			Invocation: sp.inv, Worker: w.id, Iter: c, A: scanned})
 		if !ok {
-			sp.flag(base) // conservatively restart the whole interval
+			sp.flag(base, w.id, "privacy violated (merge)", "")
 			return nil
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 )
 
 // PageSize is the simulated page size in bytes.
@@ -173,6 +174,14 @@ type AddressSpace struct {
 	// statsAtomic selects atomic Stats updates; set once Stats may be
 	// shared with concurrently executing clones.
 	statsAtomic bool
+
+	// Trace receives page-layer events (COW duplication, TLB flushes,
+	// protection faults); nil disables emission. Clones inherit the tracer.
+	Trace *obs.Tracer
+	// TraceWorker labels this space's events (-1 = master); TraceInv is the
+	// current region invocation (-1 = outside any region).
+	TraceWorker int
+	TraceInv    int64
 }
 
 // addStat bumps one Stats counter, atomically when the Stats structure may
@@ -185,10 +194,12 @@ func (as *AddressSpace) addStat(p *int64, n int64) {
 	}
 }
 
-// flushTLB drops every cached translation.
-func (as *AddressSpace) flushTLB() {
+// flushTLB drops every cached translation; cause labels the trace event.
+func (as *AddressSpace) flushTLB(cause string) {
 	as.rtlb = [tlbSize]tlbEntry{}
 	as.wtlb = [tlbSize]tlbEntry{}
+	as.Trace.Instant(obs.Event{Kind: obs.KTLBFlush,
+		Invocation: as.TraceInv, Worker: as.TraceWorker, Iter: -1, Cause: cause})
 }
 
 // materialize gives a space sharing its page table a private copy, with
@@ -205,7 +216,8 @@ func (as *AddressSpace) materialize() {
 // NewAddressSpace returns an empty address space with every heap mapped
 // read-write and empty.
 func NewAddressSpace() *AddressSpace {
-	as := &AddressSpace{pages: map[uint64]*pageEntry{}, Stats: &Stats{}}
+	as := &AddressSpace{pages: map[uint64]*pageEntry{}, Stats: &Stats{},
+		TraceWorker: -1, TraceInv: -1}
 	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
 		as.heaps[h] = newHeapState(h)
 		as.prot[h] = ProtReadWrite
@@ -221,8 +233,9 @@ func NewAddressSpace() *AddressSpace {
 // allocator state), not O(mapped pages).
 func (as *AddressSpace) Clone() *AddressSpace {
 	as.pagesShared = true
-	as.flushTLB()
-	c := &AddressSpace{pages: as.pages, pagesShared: true, Stats: &Stats{}}
+	as.flushTLB("clone")
+	c := &AddressSpace{pages: as.pages, pagesShared: true, Stats: &Stats{},
+		Trace: as.Trace, TraceWorker: as.TraceWorker, TraceInv: as.TraceInv}
 	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
 		c.heaps[h] = as.heaps[h].clone()
 		c.prot[h] = as.prot[h]
@@ -248,7 +261,7 @@ func (as *AddressSpace) CloneSharingStats() *AddressSpace {
 // which Privateer manipulates page maps.
 func (as *AddressSpace) SetProt(h ir.HeapKind, p Prot) {
 	as.prot[h] = p
-	as.flushTLB()
+	as.flushTLB("setprot")
 }
 
 // ProtOf returns the protection of heap h.
@@ -280,6 +293,9 @@ func (as *AddressSpace) pageFor(addr uint64, forWrite bool) *page {
 		e.pg = dup
 		e.cow = false
 		as.addStat(&as.Stats.PagesCopied, 1)
+		as.Trace.Instant(obs.Event{Kind: obs.KCOWCopy,
+			Invocation: as.TraceInv, Worker: as.TraceWorker, Iter: -1,
+			A: int64(key << PageShift)})
 	}
 	idx := key & (tlbSize - 1)
 	// COW resolution replaced the page this space reads at key, so the
@@ -295,6 +311,9 @@ func (as *AddressSpace) checkProt(addr uint64, size uint64, write bool) error {
 	h := ir.HeapOf(addr)
 	p := as.prot[h]
 	if p == ProtNone || (write && p != ProtReadWrite) {
+		as.Trace.Instant(obs.Event{Kind: obs.KProtFault,
+			Invocation: as.TraceInv, Worker: as.TraceWorker, Iter: -1,
+			A: int64(addr), Cause: "protection " + p.String()})
 		return &Fault{Addr: addr, Write: write, Reason: "protection " + p.String()}
 	}
 	// Guard the unmapped null page of the system heap.
@@ -522,7 +541,7 @@ func (as *AddressSpace) ResetHeap(h ir.HeapKind) {
 			delete(as.pages, k)
 		}
 	}
-	as.flushTLB()
+	as.flushTLB("reset-heap")
 }
 
 // CopyHeapFrom replaces this space's view of heap h with src's, sharing
@@ -549,8 +568,8 @@ func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
 		}
 	}
 	as.heaps[h] = src.heaps[h].clone()
-	as.flushTLB()
-	src.flushTLB()
+	as.flushTLB("copy-heap")
+	src.flushTLB("copy-heap")
 }
 
 // DirtyPages calls visit for every page this address space owns privately —
