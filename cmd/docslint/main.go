@@ -1,0 +1,106 @@
+// Command docslint fails when a package declares exported identifiers
+// without doc comments. It is stricter than go vet (which does not check
+// documentation at all): every exported top-level function, type, constant,
+// variable, and struct field must carry a comment, because the runtime
+// packages' invariants live in those comments. CI runs it over
+// internal/specrt and internal/obs.
+//
+// Usage:
+//
+//	docslint ./internal/specrt ./internal/obs
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docslint <package dir> ...")
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range os.Args[1:] {
+		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docslint:", err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "docslint: %d exported identifier(s) without doc comments\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (tests excluded) and reports every
+// undocumented exported identifier to stderr, returning the count.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, kind, name)
+		findings++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// lintGenDecl checks const/var/type declarations. A doc comment on the
+// enclosing group counts for its specs (the group comment documents the
+// family), but exported struct fields always need their own comment or
+// trailing line comment.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+					report(name.Pos(), strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+				report(s.Name.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, field := range st.Fields.List {
+					if field.Doc != nil || field.Comment != nil {
+						continue
+					}
+					for _, name := range field.Names {
+						if name.IsExported() {
+							report(name.Pos(), "field", s.Name.Name+"."+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

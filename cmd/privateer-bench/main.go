@@ -22,12 +22,12 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, or micro")
+			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, or micro")
 		input     = flag.String("input", "", "input class override: train, ref, alt")
 		quick     = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
 		programs  = flag.String("programs", "", "comma-separated subset of benchmarks")
 		workers   = flag.Int("workers", 0, "machine size override for fig7/fig9")
-		jsonOut   = flag.Bool("json", false, "machine-readable output (micro only)")
+		jsonOut   = flag.Bool("json", false, "machine-readable output (micro and pipeline)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the speculation lifecycle")
 		eventsOut = flag.Bool("events", false, "print an event summary table after the experiment")
 	)
@@ -93,6 +93,18 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 
 	if experiment == "table1" {
 		fmt.Println(bench.Table1())
+		return nil
+	}
+	if experiment == "pipeline" {
+		rep, err := bench.RunPipeline(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(rep.JSON())
+		} else {
+			fmt.Println(rep.Format())
+		}
 		return nil
 	}
 	if experiment == "micro" {

@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"privateer/internal/core"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/progs"
+	"privateer/internal/specrt"
+	"privateer/internal/vm"
+)
+
+// The pipeline experiment measures what the pipelined validator/committer
+// (specrt.Config.Pipeline) buys: the master-side critical path after workers
+// quiesce — Stats.JoinNS, covering chain validation, checkpoint install, and
+// deferred-output commit — compared between the synchronous barrier model
+// and the background committer, on misspeculation-free workloads. The
+// pipelined output must be byte-identical to the synchronous output on every
+// workload — the committer moves work off the critical path, never changes
+// it — and both are compared against the sequential reference as well
+// (expected to match everywhere except FP-reduction programs, where the
+// documented worker-id fold order differs from sequential in the last bits).
+//
+// The headline row is a synthetic checkpoint-heavy workload (many dirty
+// private pages per interval plus deferred output every iteration) where
+// validation and commit dominate the join; the five paper benchmarks ride
+// along as context rows.
+
+// PipelineRow is one workload's sync-vs-pipelined measurement. Timing
+// fields are minima over Repeats runs (wall-clock noise suppression); the
+// overlap figure comes from the pipelined run with the minimal join.
+type PipelineRow struct {
+	// Name identifies the workload ("synthetic" or a benchmark program).
+	Name string `json:"name"`
+	// Workers and Period are the span shape used.
+	Workers int   `json:"workers"`
+	Period  int64 `json:"period"`
+	// Repeats is the number of runs each timing is minimized over.
+	Repeats int `json:"repeats"`
+	// SyncJoinNS is the synchronous master critical path (validate + install
+	// + commit after quiesce).
+	SyncJoinNS int64 `json:"sync_join_ns"`
+	// PipeJoinNS is the pipelined drain: whatever the committer had not
+	// already overlapped with execution.
+	PipeJoinNS int64 `json:"pipe_join_ns"`
+	// OverlappedNS is validate/install/commit time the committer performed
+	// while workers were still executing.
+	OverlappedNS int64 `json:"overlapped_ns"`
+	// ReductionPct is 100 * (1 - PipeJoinNS/SyncJoinNS).
+	ReductionPct float64 `json:"reduction_pct"`
+	// OutputMatch reports whether the pipelined mode reproduced the
+	// synchronous mode's return value and output byte for byte (the pipeline
+	// equivalence claim; must always hold).
+	OutputMatch bool `json:"output_match"`
+	// SeqMatch reports whether both modes reproduced the sequential
+	// reference exactly. False only for FP-reduction workloads, where the
+	// deterministic worker-id fold order differs from the sequential fold in
+	// the last float bits (identical in both modes).
+	SeqMatch bool `json:"seq_match"`
+	// Misspecs totals misspeculations across all measured runs (expected 0:
+	// the workloads are misspeculation-free).
+	Misspecs int64 `json:"misspecs"`
+}
+
+// PipelineReport bundles the pipeline experiment's measurements.
+type PipelineReport struct {
+	// Rows lists one entry per workload; Rows[0] is the synthetic headline.
+	Rows []PipelineRow `json:"rows"`
+}
+
+// JSON renders the report machine-readably.
+func (r *PipelineReport) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Format renders the report as an aligned table.
+func (r *PipelineReport) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, m := range r.Rows {
+		match := "yes"
+		if !m.OutputMatch {
+			match = "NO"
+		}
+		seq := "yes"
+		if !m.SeqMatch {
+			seq = "fp-bits"
+		}
+		rows = append(rows, []string{
+			m.Name,
+			fmt.Sprintf("%d", m.Workers),
+			fmt.Sprintf("%d", m.Period),
+			fmt.Sprintf("%.3f", float64(m.SyncJoinNS)/1e6),
+			fmt.Sprintf("%.3f", float64(m.PipeJoinNS)/1e6),
+			fmt.Sprintf("%.3f", float64(m.OverlappedNS)/1e6),
+			fmt.Sprintf("%.1f%%", m.ReductionPct),
+			match,
+			seq,
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Pipelined checkpoint validation & commit (master critical path, wall clock)\n\n")
+	sb.WriteString(table([]string{
+		"workload", "workers", "k", "sync join ms", "pipe join ms",
+		"overlapped ms", "reduction", "pipe=sync", "=seq"}, rows))
+	return sb.String()
+}
+
+// pipelineModule builds the synthetic checkpoint-heavy workload: every
+// iteration stores its index into writesPerIter slots spread one page apart
+// across a large private table (many dirty shadow pages per interval — the
+// validation and install scans dominate) and prints one deferred-output
+// line (the commit stream is non-trivial). Slot values depend only on the
+// writing iteration, so last-writer-wins selection by timestamp reproduces
+// the sequential final state exactly.
+func pipelineModule(n, pages, writesPerIter int64) *ir.Module {
+	m := ir.NewModule("pipeline-writer")
+	table := m.NewGlobal("table", pages*vm.PageSize)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	stride := pages / writesPerIter
+	if stride < 1 {
+		stride = 1
+	}
+	b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+		i := b.Ld(iv)
+		b.For("j", b.I(0), b.I(writesPerIter), func(jv *ir.Instr) {
+			slot := b.SRem(b.Add(i, b.Mul(b.Ld(jv), b.I(stride))), b.I(pages))
+			addr := b.Add(b.Global(table), b.Mul(slot, b.I(vm.PageSize)))
+			b.Store(i, addr, 8)
+		})
+		b.Print("i=%d\n", i)
+	})
+	acc := b.Local("acc")
+	b.St(b.I(0), acc)
+	b.For("p", b.I(0), b.I(pages), func(pv *ir.Instr) {
+		v := b.Load(b.Add(b.Global(table), b.Mul(b.Ld(pv), b.I(vm.PageSize))), 8)
+		b.St(b.Add(b.Mul(b.Ld(acc), b.I(31)), v), acc)
+	})
+	b.Ret(b.Ld(acc))
+	for _, fn := range m.SortedFuncs() {
+		ir.PromoteAllocas(fn)
+	}
+	return m
+}
+
+// Synthetic workload shape: 8 intervals of 48 iterations, 8 page-spread
+// writes per iteration over a 32-page table.
+const (
+	pipelineIters   = 384
+	pipelinePages   = 32
+	pipelineWrites  = 8
+	pipelinePeriod  = 48
+	pipelineWorkers = 8
+)
+
+// measurePipeline runs one parallelized workload in both modes repeats
+// times and folds the minima into a row. seqOut and seqRet are the
+// sequential reference the outputs must reproduce.
+func measurePipeline(name string, par *core.Parallelized, seqRet uint64, seqOut string,
+	workers int, period int64, repeats int) (PipelineRow, error) {
+	row := PipelineRow{
+		Name: name, Workers: workers, Period: period,
+		Repeats: repeats, OutputMatch: true, SeqMatch: true,
+	}
+	var syncRet uint64
+	var syncOut string
+	for _, pipeline := range []bool{false, true} {
+		best := int64(-1)
+		var bestOverlap int64
+		for r := 0; r < repeats; r++ {
+			rt, ret, err := core.Run(par, specrt.Config{
+				Workers: workers, CheckpointPeriod: period, Pipeline: pipeline,
+			})
+			if err != nil {
+				return row, fmt.Errorf("%s pipeline=%v: %w", name, pipeline, err)
+			}
+			if !pipeline && r == 0 {
+				syncRet, syncOut = ret, rt.Output()
+			}
+			if ret != seqRet || rt.Output() != seqOut {
+				row.SeqMatch = false
+			}
+			if pipeline && (ret != syncRet || rt.Output() != syncOut) {
+				row.OutputMatch = false
+			}
+			row.Misspecs += rt.Stats.Misspecs
+			if j := rt.Stats.JoinNS; best < 0 || j < best {
+				best = j
+				bestOverlap = rt.Stats.OverlappedCommitNS
+			}
+		}
+		if pipeline {
+			row.PipeJoinNS = best
+			row.OverlappedNS = bestOverlap
+		} else {
+			row.SyncJoinNS = best
+		}
+	}
+	if row.SyncJoinNS > 0 {
+		row.ReductionPct = 100 * (1 - float64(row.PipeJoinNS)/float64(row.SyncJoinNS))
+	}
+	return row, nil
+}
+
+// preparePipelineSynthetic compiles the synthetic workload and its
+// sequential reference (shared by RunPipeline and the determinism test).
+func preparePipelineSynthetic() (*core.Parallelized, uint64, string, error) {
+	mod := pipelineModule(pipelineIters, pipelinePages, pipelineWrites)
+	seqIt := interp.New(pipelineModule(pipelineIters, pipelinePages, pipelineWrites), vm.NewAddressSpace())
+	var seqOut strings.Builder
+	seqIt.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
+		seqOut.WriteString(text)
+		return true
+	}
+	seqRet, err := seqIt.Run()
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("pipeline synthetic sequential: %w", err)
+	}
+	par, err := core.Parallelize(mod, core.Options{})
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("pipeline synthetic parallelize: %w", err)
+	}
+	return par, seqRet, seqOut.String(), nil
+}
+
+// RunPipeline measures the pipelined committer against the synchronous
+// barrier on the synthetic headline workload plus the configured benchmark
+// programs.
+func RunPipeline(cfg Config) (*PipelineReport, error) {
+	rep := &PipelineReport{}
+	par, seqRet, seqOut, err := preparePipelineSynthetic()
+	if err != nil {
+		return nil, err
+	}
+	row, err := measurePipeline("synthetic", par, seqRet, seqOut,
+		pipelineWorkers, pipelinePeriod, 5)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	for _, p := range progs.All() {
+		if len(cfg.Programs) > 0 && !containsString(cfg.Programs, p.Name) {
+			continue
+		}
+		in := inputFor(p, cfg.Input)
+		seqRet, seqOut, err := core.RunSequential(p.Build(in))
+		if err != nil {
+			return nil, fmt.Errorf("%s sequential: %w", p.Name, err)
+		}
+		par, err := core.Parallelize(p.Build(in), core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s parallelize: %w", p.Name, err)
+		}
+		row, err := measurePipeline(p.Name, par, seqRet, seqOut,
+			cfg.FixedWorkers, 0, 3)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"privateer/internal/core"
+	"privateer/internal/specrt"
+)
+
+// TestPipelineDeterminismAcrossGOMAXPROCS: the pipelined committer's
+// observable behavior — result, committed output, and the simulated-time
+// accounting — must not depend on how many hardware threads the host
+// schedules the span onto. Misspeculation-free by construction, so the
+// simulated accounting is exactly reproducible (see specrt.Config.Pipeline).
+func TestPipelineDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	par, seqRet, seqOut, err := preparePipelineSynthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	type observed struct {
+		ret uint64
+		out string
+		sim specrt.SimStats
+	}
+	var runs []observed
+	for _, gmp := range []int{1, 4} {
+		runtime.GOMAXPROCS(gmp)
+		rt, ret, err := core.Run(par, specrt.Config{
+			Workers: pipelineWorkers, CheckpointPeriod: pipelinePeriod, Pipeline: true,
+		})
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", gmp, err)
+		}
+		if rt.Stats.Misspecs != 0 {
+			t.Fatalf("GOMAXPROCS=%d: unexpected misspeculation", gmp)
+		}
+		runs = append(runs, observed{ret: ret, out: rt.Output(), sim: rt.Sim})
+	}
+	for i, r := range runs {
+		if r.ret != seqRet {
+			t.Errorf("run %d: result %d, want sequential %d", i, r.ret, seqRet)
+		}
+		if r.out != seqOut {
+			t.Errorf("run %d: output diverged from sequential reference", i)
+		}
+	}
+	if runs[0].sim != runs[1].sim {
+		t.Errorf("simulated accounting depends on GOMAXPROCS:\n 1: %+v\n 4: %+v",
+			runs[0].sim, runs[1].sim)
+	}
+}
+
+// TestPipelineExperimentSmoke runs the report end to end on the synthetic
+// workload: outputs must match the sequential reference in both modes and
+// the run must be misspeculation-free. The reduction percentage itself is a
+// wall-clock quantity asserted by the CI bench smoke, not here.
+func TestPipelineExperimentSmoke(t *testing.T) {
+	par, seqRet, seqOut, err := preparePipelineSynthetic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := measurePipeline("synthetic", par, seqRet, seqOut,
+		pipelineWorkers, pipelinePeriod, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.OutputMatch {
+		t.Error("pipelined output diverged from the synchronous output")
+	}
+	if !row.SeqMatch {
+		t.Error("parallel output diverged from the sequential reference")
+	}
+	if row.Misspecs != 0 {
+		t.Errorf("unexpected misspeculations: %d", row.Misspecs)
+	}
+	if row.SyncJoinNS <= 0 || row.PipeJoinNS < 0 {
+		t.Errorf("join timings not recorded: sync=%d pipe=%d", row.SyncJoinNS, row.PipeJoinNS)
+	}
+}

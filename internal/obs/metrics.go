@@ -17,23 +17,36 @@ type InvocationMetrics struct {
 	Spans int64
 	// Workers counts worker spawns.
 	Workers int64
-	// Checkpoints and Contributions count checkpoint objects and worker
-	// merges into them.
-	Checkpoints   int64
+	// Checkpoints counts checkpoint objects constructed.
+	Checkpoints int64
+	// Contributions counts worker merges into checkpoints.
 	Contributions int64
 	// Validations counts cross-interval validation passes.
 	Validations int64
-	// Misspecs, Recoveries and Fallbacks count the misspeculation path.
-	Misspecs   int64
+	// EagerValidations counts per-interval validations performed by the
+	// pipelined committer while workers were (potentially) still executing.
+	EagerValidations int64
+	// AsyncCommits counts checkpoints installed and committed by the
+	// pipelined committer.
+	AsyncCommits int64
+	// Cancels counts committer-initiated cancellations of in-flight
+	// speculative intervals.
+	Cancels int64
+	// Misspecs counts detected misspeculations.
+	Misspecs int64
+	// Recoveries counts sequential recovery episodes.
 	Recoveries int64
-	Fallbacks  int64
+	// Fallbacks counts invocations abandoned to sequential execution.
+	Fallbacks int64
 	// InstalledBytes totals checkpoint bytes installed into the master.
 	InstalledBytes int64
 	// CommittedIO totals deferred output records committed.
 	CommittedIO int64
-	// COWCopies, TLBFlushes and ProtFaults count page-layer events.
-	COWCopies  int64
+	// COWCopies counts copy-on-write page duplications.
+	COWCopies int64
+	// TLBFlushes counts software-TLB invalidations.
 	TLBFlushes int64
+	// ProtFaults counts page-protection faults.
 	ProtFaults int64
 	// WallNS is the invocation's wall-clock duration (from its
 	// region-invoke event), when one was recorded.
@@ -80,6 +93,14 @@ func Summarize(events []Event) []InvocationMetrics {
 			m.InstalledBytes += ev.A
 		case KCommit:
 			m.CommittedIO += ev.A
+		case KValidateEager:
+			m.EagerValidations++
+		case KCommitAsync:
+			m.AsyncCommits++
+			m.InstalledBytes += ev.A
+			m.CommittedIO += ev.B
+		case KCancel:
+			m.Cancels++
 		case KCOWCopy:
 			m.COWCopies++
 		case KTLBFlush:

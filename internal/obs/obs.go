@@ -1,19 +1,3 @@
-// Package obs is the speculation-lifecycle observability layer: a
-// low-overhead structured event tracer plus derived metrics for the
-// Privateer runtime.
-//
-// The paper's evaluation (section 6) attributes runtime cost to individual
-// speculation events — worker spawns, privacy checks, checkpoint merges,
-// misspeculation, recovery. The runtime emits those events as typed Event
-// values through a Tracer; with no tracer attached every instrumentation
-// site is a single nil check. Events flow into a Sink — usually the
-// ring-buffered Collector — and can be exported as a Chrome trace_event
-// JSON file (chrometrace.go) or folded into per-invocation metrics
-// (metrics.go).
-//
-// The package deliberately imports nothing from the rest of the repository
-// so every layer (vm, doall, specrt, bench) can emit into it without
-// dependency cycles.
 package obs
 
 import (
@@ -70,31 +54,47 @@ const (
 	// KMark is a generic labeled span (Cause = label); the benchmark
 	// harness uses it to bracket whole benchmarks.
 	KMark
+	// KValidateEager is a pipelined per-interval validation performed by the
+	// background committer while workers may still be executing
+	// (Iter=checkpoint id, A=violating checkpoint id or -1).
+	KValidateEager
+	// KCommitAsync is an overlapped install+commit of one quiesced
+	// checkpoint by the background committer (Iter=checkpoint id,
+	// A=bytes installed, B=deferred-output records committed).
+	KCommitAsync
+	// KCancel is a committer-initiated cancellation of in-flight
+	// speculative intervals after eager validation found a violation
+	// (Iter=violating checkpoint id, Cause=reason).
+	KCancel
 
-	numKinds = int(KMark) + 1
+	numKinds = int(KCancel) + 1
 )
 
 var kindNames = [numKinds]string{
-	KRegionInvoke: "region-invoke",
-	KSpanStart:    "span-start",
-	KSpanEnd:      "span-end",
-	KWorkerSpawn:  "worker-spawn",
-	KWorkerJoin:   "worker-join",
-	KCheckpoint:   "checkpoint",
-	KContribute:   "contribute",
-	KValidate:     "validate",
-	KInstall:      "install",
-	KCommit:       "commit",
-	KPhase:        "phase",
-	KMisspec:      "misspec",
-	KRecovery:     "recovery",
-	KSeqFallback:  "seq-fallback",
-	KCOWCopy:      "cow-copy",
-	KTLBFlush:     "tlb-flush",
-	KProtFault:    "prot-fault",
-	KMark:         "mark",
+	KRegionInvoke:  "region-invoke",
+	KSpanStart:     "span-start",
+	KSpanEnd:       "span-end",
+	KWorkerSpawn:   "worker-spawn",
+	KWorkerJoin:    "worker-join",
+	KCheckpoint:    "checkpoint",
+	KContribute:    "contribute",
+	KValidate:      "validate",
+	KInstall:       "install",
+	KCommit:        "commit",
+	KPhase:         "phase",
+	KMisspec:       "misspec",
+	KRecovery:      "recovery",
+	KSeqFallback:   "seq-fallback",
+	KCOWCopy:       "cow-copy",
+	KTLBFlush:      "tlb-flush",
+	KProtFault:     "prot-fault",
+	KMark:          "mark",
+	KValidateEager: "validate-eager",
+	KCommitAsync:   "commit-async",
+	KCancel:        "cancel",
 }
 
+// String names the kind for human-readable output.
 func (k Kind) String() string {
 	if int(k) < numKinds {
 		return kindNames[k]

@@ -3,6 +3,7 @@ package specrt
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"privateer/internal/ir"
 	"privateer/internal/vm"
@@ -31,7 +32,15 @@ type reduxObj struct {
 // conflicts *across* intervals are caught by a chain-validation pass when
 // the span quiesces, before anything commits.
 type checkpoint struct {
+	// mu serializes whole-merge operations: one worker's addWorkerState at a
+	// time per checkpoint (the merge's page scan may itself be sharded across
+	// goroutines under mu; see pageMu).
 	mu sync.Mutex
+	// pageMu guards insertion into the data and shadow page maps when one
+	// merge's page scan is sharded across goroutines. Distinct shards always
+	// work on distinct page bases, so page contents need no lock — only the
+	// map headers do.
+	pageMu sync.Mutex
 	// id is the interval index within the span.
 	id int64
 	// base and limit bound the interval's iterations [base, limit).
@@ -70,56 +79,113 @@ func newCheckpoint(id, base, limit int64, prev *checkpoint) *checkpoint {
 	}
 }
 
+// ownPage returns the checkpoint-owned page at base in m, creating it on
+// first use. Map insertion is guarded by pageMu so that a sharded merge scan
+// (several goroutines, disjoint page bases) can create pages concurrently.
 func (cp *checkpoint) ownPage(m map[uint64][]byte, base uint64) []byte {
+	cp.pageMu.Lock()
 	pg, ok := m[base]
 	if !ok {
 		pg = make([]byte, vm.PageSize)
 		m[base] = pg
 	}
+	cp.pageMu.Unlock()
 	return pg
+}
+
+// shadowPage is one worker shadow page queued for merging.
+type shadowPage struct {
+	base uint64
+	data []byte
+}
+
+// mergeShadowPage merges one worker shadow page into the checkpoint's
+// combined view and reports whether the merge detected a privacy violation.
+// Distinct shadow pages touch distinct combined pages, so concurrent calls
+// on different pages are safe.
+func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) bool {
+	miss := false
+	privBase := pg.base &^ ir.ShadowBit
+	var combinedSh, combinedData, privData []byte
+	for off := 0; off < vm.PageSize; off++ {
+		wm := pg.data[off]
+		if wm == MetaLiveIn || wm == MetaOldWrite {
+			continue // untouched this interval / merged earlier
+		}
+		if combinedSh == nil {
+			combinedSh = cp.ownPage(cp.shadow, pg.base)
+			combinedData = cp.ownPage(cp.data, privBase)
+		}
+		newMeta, takeData, m := MergeByte(combinedSh[off], wm)
+		if m {
+			miss = true
+		}
+		combinedSh[off] = newMeta
+		if takeData {
+			if privData == nil {
+				if pd, have := ws.PageData(privBase); have {
+					privData = pd
+				} else {
+					privData = make([]byte, vm.PageSize)
+				}
+			}
+			combinedData[off] = privData[off]
+		}
+	}
+	return miss
 }
 
 // addWorkerState merges one worker's speculative state into the checkpoint:
 // the second phase of privacy validation plus data selection by timestamp.
 // The worker's shadow must reflect the current interval only (timestamps
-// are relative to cp.base). It returns false if the merge detects a privacy
-// violation.
-func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []reduxObj, io []ioRec) (bool, int64) {
+// are relative to cp.base). The page-level scan is sharded across up to
+// shards goroutines by shadow-page range; the result is independent of the
+// sharding because every shadow page maps to its own combined page. It
+// returns ok=false if the merge detects a privacy violation, the number of
+// shadow bytes scanned, and the total number of workers that have
+// contributed (including this one).
+func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []reduxObj, io []ioRec, shards int) (bool, int64, int) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	ok := true
-	var scanned int64
+	var pages []shadowPage
 	ws.HeapPages(ir.HeapShadow, func(shBase uint64, shData []byte) {
-		scanned += vm.PageSize
-		privBase := shBase &^ ir.ShadowBit
-		var combinedSh, combinedData, privData []byte
-		for off := 0; off < vm.PageSize; off++ {
-			wm := shData[off]
-			if wm == MetaLiveIn || wm == MetaOldWrite {
-				continue // untouched this interval / merged earlier
-			}
-			if combinedSh == nil {
-				combinedSh = cp.ownPage(cp.shadow, shBase)
-				combinedData = cp.ownPage(cp.data, privBase)
-			}
-			newMeta, takeData, miss := MergeByte(combinedSh[off], wm)
-			if miss {
+		pages = append(pages, shadowPage{base: shBase, data: shData})
+	})
+	scanned := int64(len(pages)) * vm.PageSize
+	if shards <= 1 || len(pages) < 2*shards {
+		for _, pg := range pages {
+			if cp.mergeShadowPage(ws, pg) {
 				ok = false
-				cp.misspec = true
-			}
-			combinedSh[off] = newMeta
-			if takeData {
-				if privData == nil {
-					if pd, have := ws.PageData(privBase); have {
-						privData = pd
-					} else {
-						privData = make([]byte, vm.PageSize)
-					}
-				}
-				combinedData[off] = privData[off]
 			}
 		}
-	})
+	} else {
+		var missed atomic.Bool
+		var wg sync.WaitGroup
+		chunk := (len(pages) + shards - 1) / shards
+		for lo := 0; lo < len(pages); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pages) {
+				hi = len(pages)
+			}
+			wg.Add(1)
+			go func(part []shadowPage) {
+				defer wg.Done()
+				for _, pg := range part {
+					if cp.mergeShadowPage(ws, pg) {
+						missed.Store(true)
+					}
+				}
+			}(pages[lo:hi])
+		}
+		wg.Wait()
+		if missed.Load() {
+			ok = false
+		}
+	}
+	if !ok {
+		cp.misspec = true
+	}
 	for _, ro := range reduxObjs {
 		buf := make([]byte, ro.size)
 		if err := ws.ReadBytes(ro.addr, buf); err != nil {
@@ -136,7 +202,7 @@ func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []r
 	}
 	cp.io = append(cp.io, io...)
 	cp.contributed++
-	return ok, scanned
+	return ok, scanned, cp.contributed
 }
 
 // reduxTotal folds the checkpoint's contributions for ro in ascending
@@ -190,11 +256,39 @@ func (cp *checkpoint) chain() []*checkpoint {
 	return out
 }
 
-// crossValidate detects privacy violations spanning checkpoint intervals:
-// a byte read as live-in after some earlier interval wrote it (or vice
-// versa). It walks the chain oldest-first, carrying collapsed metadata, and
-// returns the id of the first violating checkpoint, or -1. Call only after
-// the span has quiesced.
+// carryValidatePage folds one interval's shadow page sh into the carried
+// (collapsed) metadata prev for the same page and reports whether the fold
+// observes a cross-interval privacy violation: a byte read as live-in after
+// some earlier interval wrote it, or written after some earlier interval
+// read it as live-in. prev is mutated in place; on a violation it is left
+// partially folded, which is fine because validation aborts the span.
+func carryValidatePage(prev, sh []byte) bool {
+	for off, m := range sh {
+		if m == MetaLiveIn {
+			continue
+		}
+		if m == MetaReadLiveIn && prev[off] == MetaOldWrite {
+			return true // read "live-in" of a byte written earlier
+		}
+		if m >= MetaTSBase && prev[off] == MetaReadLiveIn {
+			return true // write after a live-in read
+		}
+		if m == MetaReadLiveIn {
+			if prev[off] != MetaOldWrite {
+				prev[off] = MetaReadLiveIn
+			}
+		} else {
+			prev[off] = MetaOldWrite
+		}
+	}
+	return false
+}
+
+// crossValidate detects privacy violations spanning checkpoint intervals.
+// It walks the chain oldest-first, carrying collapsed metadata, and returns
+// the id of the first violating checkpoint, or -1. Call only after the span
+// has quiesced. This is the serial reference; crossValidateSharded gives
+// the same answer with the scan parallelized by shadow-page range.
 func (cp *checkpoint) crossValidate() int64 {
 	carried := map[uint64][]byte{} // shadow page base -> collapsed meta
 	for _, c := range cp.chain() {
@@ -204,52 +298,111 @@ func (cp *checkpoint) crossValidate() int64 {
 				prev = make([]byte, vm.PageSize)
 				carried[base] = prev
 			}
-			for off, m := range sh {
-				if m == MetaLiveIn {
-					continue
-				}
-				if m == MetaReadLiveIn && prev[off] == MetaOldWrite {
-					return c.id // read "live-in" of a byte written earlier
-				}
-				if m >= MetaTSBase && prev[off] == MetaReadLiveIn {
-					return c.id // write after a live-in read
-				}
-				if m == MetaReadLiveIn {
-					if prev[off] != MetaOldWrite {
-						prev[off] = MetaReadLiveIn
-					}
-				} else {
-					prev[off] = MetaOldWrite
-				}
+			if carryValidatePage(prev, sh) {
+				return c.id
 			}
 		}
 	}
 	return -1
 }
 
-// installInto applies the chain's merged private state and reduction totals
-// to the master address space: the simulated equivalent of installing a
-// checkpoint's heap images via mmap.
-func (cp *checkpoint) installInto(master *vm.AddressSpace, reduxObjs []reduxObj) (int64, error) {
-	var bytes int64
-	for _, c := range cp.chain() {
-		for base, sh := range c.shadow {
-			privBase := base &^ ir.ShadowBit
-			data := c.data[privBase]
-			if data == nil {
-				continue
-			}
-			for off, m := range sh {
-				if m < MetaTSBase {
-					continue
-				}
-				if err := master.Write(privBase+uint64(off), 1, uint64(data[off])); err != nil {
-					return bytes, err
-				}
-				bytes++
+// crossValidateSharded is crossValidate with the page scans distributed
+// over up to shards goroutines. Every shadow page base carries its own
+// collapsed metadata independently of all other pages, so the chain can be
+// validated per page; the first violating checkpoint overall is the minimum
+// first-violating checkpoint over all pages, which makes the result
+// identical to the serial walk regardless of scheduling.
+func (cp *checkpoint) crossValidateSharded(shards int) int64 {
+	chain := cp.chain()
+	seen := map[uint64]bool{}
+	var bases []uint64
+	for _, c := range chain {
+		for base := range c.shadow {
+			if !seen[base] {
+				seen[base] = true
+				bases = append(bases, base)
 			}
 		}
 	}
+	if shards <= 1 || len(bases) < 2*shards {
+		return cp.crossValidate()
+	}
+	// validateBase walks the whole chain for one page base and returns the
+	// id of the first checkpoint whose fold violates, or -1.
+	validateBase := func(base uint64) int64 {
+		prev := make([]byte, vm.PageSize)
+		for _, c := range chain {
+			if sh, ok := c.shadow[base]; ok {
+				if carryValidatePage(prev, sh) {
+					return c.id
+				}
+			}
+		}
+		return -1
+	}
+	first := int64(-1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(bases) + shards - 1) / shards
+	for lo := 0; lo < len(bases); lo += chunk {
+		hi := lo + chunk
+		if hi > len(bases) {
+			hi = len(bases)
+		}
+		wg.Add(1)
+		go func(part []uint64) {
+			defer wg.Done()
+			local := int64(-1)
+			for _, base := range part {
+				if v := validateBase(base); v >= 0 && (local < 0 || v < local) {
+					local = v
+				}
+			}
+			if local >= 0 {
+				mu.Lock()
+				if first < 0 || local < first {
+					first = local
+				}
+				mu.Unlock()
+			}
+		}(bases[lo:hi])
+	}
+	wg.Wait()
+	return first
+}
+
+// installOwnDataInto applies only this checkpoint's merged private-heap
+// bytes (not its predecessors', not reductions) to the master address
+// space. The pipelined committer installs intervals one at a time with it;
+// installInto composes it over a whole chain.
+func (cp *checkpoint) installOwnDataInto(master *vm.AddressSpace) (int64, error) {
+	var bytes int64
+	for base, sh := range cp.shadow {
+		privBase := base &^ ir.ShadowBit
+		data := cp.data[privBase]
+		if data == nil {
+			continue
+		}
+		for off, m := range sh {
+			if m < MetaTSBase {
+				continue
+			}
+			if err := master.Write(privBase+uint64(off), 1, uint64(data[off])); err != nil {
+				return bytes, err
+			}
+			bytes++
+		}
+	}
+	return bytes, nil
+}
+
+// installReduxInto folds the checkpoint's reduction totals into the master
+// address space. Worker redux contributions are cumulative (a worker's
+// snapshot at interval k covers all of its iterations through k), so this
+// must run exactly once per span, against the LAST valid checkpoint — never
+// per interval.
+func (cp *checkpoint) installReduxInto(master *vm.AddressSpace, reduxObjs []reduxObj) (int64, error) {
+	var bytes int64
 	for _, ro := range reduxObjs {
 		contrib, err := cp.reduxTotal(ro)
 		if err != nil {
@@ -271,4 +424,23 @@ func (cp *checkpoint) installInto(master *vm.AddressSpace, reduxObjs []reduxObj)
 		bytes += ro.size
 	}
 	return bytes, nil
+}
+
+// installInto applies the chain's merged private state and reduction totals
+// to the master address space: the simulated equivalent of installing a
+// checkpoint's heap images via mmap. This is the synchronous (quiesce-then-
+// commit) install; the pipelined committer reaches the same final state via
+// per-interval installOwnDataInto calls plus one installReduxInto.
+func (cp *checkpoint) installInto(master *vm.AddressSpace, reduxObjs []reduxObj) (int64, error) {
+	var bytes int64
+	for _, c := range cp.chain() {
+		b, err := c.installOwnDataInto(master)
+		bytes += b
+		if err != nil {
+			return bytes, err
+		}
+	}
+	b, err := cp.installReduxInto(master, reduxObjs)
+	bytes += b
+	return bytes, err
 }

@@ -1,0 +1,331 @@
+package specrt
+
+// The pipelined validator/committer (Config.Pipeline).
+//
+// The synchronous span lifecycle is a barrier model: every worker finishes
+// every interval, the span quiesces, and only then does the master cross-
+// validate the whole checkpoint chain, install it, and commit deferred
+// output — all on the critical path (the paper's §5.2-§5.3 runs commit in a
+// separate process precisely to avoid this). The committer converts the
+// lifecycle into a producer/consumer pipeline: workers produce quiesced
+// checkpoints (interval k quiesces when all workers have contributed their
+// interval-k state), and a single background goroutine consumes them in
+// interval order — eagerly chain-validating interval k, installing its data
+// into the master address space, and committing its deferred output while
+// the workers are still executing interval k+1.
+//
+// Safety of the overlapped install: workers execute against copy-on-write
+// clones taken from the master at span start; a page table referenced by
+// two or more address spaces is never mutated (vm's lazy-clone invariant),
+// so the committer's writes to the master materialize a private page table
+// and can never be observed by a running worker. The master thread itself
+// is blocked inside invoke() for the whole span, so the committer is the
+// only goroutine touching master state and the deferred-output stream
+// (rt.out, guarded by rt.outMu — see the locking discipline note in
+// specrt.go).
+//
+// Equivalence with the synchronous path:
+//   - Validation. carryValidatePage is shared by both paths, and the
+//     committer folds intervals oldest-first, so the first violation it sees
+//     is the same "earliest violating checkpoint" the synchronous
+//     crossValidate reports.
+//   - Data. Checkpoints are self-contained (each records only bytes written
+//     in its own interval), so installing them one by one in interval order
+//     writes exactly the bytes the synchronous whole-chain install writes.
+//   - Reductions. Worker redux snapshots are cumulative, so the fold happens
+//     exactly once per span, from the last installed checkpoint, in
+//     worker-id order — identical to the synchronous fold (and therefore
+//     bit-deterministic for floating-point operators).
+//   - Output. The committer commits deferred I/O per interval in interval
+//     order, each interval's records in iteration order: byte-identical to
+//     the synchronous chain commit.
+//
+// Misspeculation. A violation discovered during eager validation of
+// interval k flags the span (sp.flag), which in-flight workers observe at
+// their next iteration boundary and squash — in-flight speculative
+// intervals are cancelled, and the last installed checkpoint's limit is the
+// recovery boundary handed back to invoke(). A worker-detected
+// misspeculation at interval m likewise stops the committer before interval
+// m; intervals below m still quiesce (workers keep contributing them) and
+// are validated and installed, matching the synchronous path's prefix
+// install.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privateer/internal/obs"
+	"privateer/internal/vm"
+)
+
+// pipelineDepth bounds how many intervals workers may run ahead of the
+// committer. The backpressure serves two purposes: it bounds the memory
+// held by quiesced-but-uncommitted checkpoints, and it guarantees the
+// committer actually interleaves with execution even when every hardware
+// thread is saturated by workers (without it, on a fully loaded host the
+// committer can starve until the span quiesces, degenerating the pipeline
+// back into a barrier). Depth 2 keeps one interval in flight in each stage
+// plus one of slack.
+const pipelineDepth = 2
+
+// committer is the background validate/install/commit stage of one
+// pipelined span. Exactly one committer goroutine runs per span.
+type committer struct {
+	sp *spanState
+	// workers is the number of contributions that quiesce an interval.
+	workers int
+	// nIntervals is the span's checkpoint count.
+	nIntervals int64
+
+	// mu guards the fields below and pairs with cond: workers signal
+	// contributions, flags and completion; the committer waits for interval
+	// quiescence. Lock order: mu may be held while taking sp.flagMu (via
+	// misspecInterval); the reverse never happens — sp.flag wakes the
+	// committer only after releasing flagMu.
+	mu   sync.Mutex
+	cond *sync.Cond
+	// contributed counts per-interval worker contributions.
+	contributed []int
+	// workersDone is set once every worker goroutine has returned: no more
+	// contributions can arrive.
+	workersDone bool
+	// canceled aborts the committer (worker hard error).
+	canceled bool
+	// doneThrough counts intervals fully validated, installed, and
+	// committed; workers throttle against it (see pipelineDepth).
+	doneThrough int64
+	// stopped is set when the committer goroutine exits, releasing any
+	// worker still blocked in throttle.
+	stopped bool
+
+	// carried is the eager cross-interval validation state: collapsed
+	// metadata per shadow page base, folded interval by interval. carriedMu
+	// guards map insertion when one interval's fold is sharded.
+	carried   map[uint64][]byte
+	carriedMu sync.Mutex
+
+	// lastInstalled is the newest checkpoint whose data has been installed
+	// and whose output has been committed (nil if none). Written only by the
+	// committer goroutine; read by the span only after <-done.
+	lastInstalled *checkpoint
+	// err is a hard (non-misspeculation) failure; same access discipline.
+	err error
+	// done closes when the committer goroutine exits.
+	done chan struct{}
+}
+
+func newCommitter(sp *spanState, workers int, nIntervals int64) *committer {
+	co := &committer{
+		sp: sp, workers: workers, nIntervals: nIntervals,
+		contributed: make([]int, nIntervals),
+		carried:     map[uint64][]byte{},
+		done:        make(chan struct{}),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	return co
+}
+
+// noteContribution records one worker contribution to interval c and wakes
+// the committer. Workers call it after addWorkerState returns (and after
+// flagging any merge violation, so the flag is visible before the interval
+// appears quiesced).
+func (co *committer) noteContribution(c int64) {
+	co.mu.Lock()
+	co.contributed[c]++
+	quiesced := co.contributed[c] >= co.workers
+	co.mu.Unlock()
+	co.cond.Broadcast()
+	if quiesced {
+		// The interval just became consumable; yield the processor so the
+		// committer can start on it promptly even when workers saturate
+		// every hardware thread.
+		runtime.Gosched()
+	}
+}
+
+// throttle blocks a worker about to start interval c until the committer is
+// within pipelineDepth intervals of it (or no longer running). See
+// pipelineDepth for why the bound exists.
+func (co *committer) throttle(c int64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for c-co.doneThrough > pipelineDepth && !co.stopped && !co.canceled {
+		if co.sp.flagged.Load() {
+			if mi := co.sp.misspecInterval(); mi >= 0 && mi <= c {
+				return // the worker will squash at its next check
+			}
+		}
+		co.cond.Wait()
+	}
+}
+
+// wake re-evaluates the committer's wait condition (called by sp.flag).
+func (co *committer) wake() { co.cond.Broadcast() }
+
+// finishWorkers marks the worker fleet as joined: intervals that have not
+// quiesced never will.
+func (co *committer) finishWorkers() {
+	co.mu.Lock()
+	co.workersDone = true
+	co.mu.Unlock()
+	co.cond.Broadcast()
+}
+
+// cancel aborts the committer without further installs (hard error paths).
+func (co *committer) cancel() {
+	co.mu.Lock()
+	co.canceled = true
+	co.mu.Unlock()
+	co.cond.Broadcast()
+}
+
+// waitQuiesced blocks until interval c has every worker's contribution and
+// no misspeculation at or below c is flagged. It returns false when the
+// committer should stop instead: cancellation, a flag at interval <= c, or
+// worker completion without c quiescing (a squashed tail interval).
+func (co *committer) waitQuiesced(c int64) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for {
+		if co.canceled {
+			return false
+		}
+		if co.sp.flagged.Load() {
+			if mi := co.sp.misspecInterval(); mi >= 0 && mi <= c {
+				return false
+			}
+		}
+		if co.contributed[c] >= co.workers {
+			return true
+		}
+		if co.workersDone {
+			return false
+		}
+		co.cond.Wait()
+	}
+}
+
+// overlapped reports whether workers are still executing (used to classify
+// committer busy time as overlapped vs. drain).
+func (co *committer) overlapped() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return !co.workersDone
+}
+
+// validateInterval folds checkpoint cp's shadow pages into the carried
+// cross-interval state and returns cp.id on a violation, -1 when clean.
+// The fold is sharded across goroutines by shadow-page range; pages fold
+// independently, so the verdict does not depend on the sharding.
+func (co *committer) validateInterval(cp *checkpoint) int64 {
+	carriedPage := func(base uint64) []byte {
+		co.carriedMu.Lock()
+		prev, have := co.carried[base]
+		if !have {
+			prev = make([]byte, vm.PageSize)
+			co.carried[base] = prev
+		}
+		co.carriedMu.Unlock()
+		return prev
+	}
+	shards := co.sp.rt.validateShards()
+	if shards <= 1 || len(cp.shadow) < 2*shards {
+		for base, sh := range cp.shadow {
+			if carryValidatePage(carriedPage(base), sh) {
+				return cp.id
+			}
+		}
+		return -1
+	}
+	bases := make([]uint64, 0, len(cp.shadow))
+	for base := range cp.shadow {
+		bases = append(bases, base)
+	}
+	var violated atomic.Bool
+	var wg sync.WaitGroup
+	chunk := (len(bases) + shards - 1) / shards
+	for lo := 0; lo < len(bases); lo += chunk {
+		hi := lo + chunk
+		if hi > len(bases) {
+			hi = len(bases)
+		}
+		wg.Add(1)
+		go func(part []uint64) {
+			defer wg.Done()
+			for _, base := range part {
+				if carryValidatePage(carriedPage(base), cp.shadow[base]) {
+					violated.Store(true)
+				}
+			}
+		}(bases[lo:hi])
+	}
+	wg.Wait()
+	if violated.Load() {
+		return cp.id
+	}
+	return -1
+}
+
+// run is the committer goroutine: consume quiesced intervals in order,
+// eagerly validate, install, and commit each one.
+func (co *committer) run() {
+	defer close(co.done)
+	// On any exit (clean, violation, cancellation) release workers blocked
+	// in throttle.
+	defer func() {
+		co.mu.Lock()
+		co.stopped = true
+		co.mu.Unlock()
+		co.cond.Broadcast()
+	}()
+	sp := co.sp
+	rt := sp.rt
+	tr := rt.Cfg.Trace
+	for c := int64(0); c < co.nIntervals; c++ {
+		if !co.waitQuiesced(c) {
+			return
+		}
+		cp := sp.checkpointFor(c)
+		busyStart := time.Now()
+		tv := tr.Now()
+		v := co.validateInterval(cp)
+		if tr.On() {
+			tr.Emit(obs.Event{Kind: obs.KValidateEager, TimeNS: tv, DurNS: tr.Now() - tv,
+				Invocation: sp.inv, Worker: -1, Iter: c, A: v})
+		}
+		if v >= 0 {
+			// Cancel in-flight speculative intervals: the flag is observed
+			// by every worker at its next iteration boundary. Recovery will
+			// resume from lastInstalled.limit.
+			sp.flag(cp.limit-1, -1, "privacy violated (cross-interval)", "")
+			tr.Instant(obs.Event{Kind: obs.KCancel,
+				Invocation: sp.inv, Worker: -1, Iter: v,
+				Cause: "privacy violated (cross-interval)"})
+			return
+		}
+		bytes, err := cp.installOwnDataInto(rt.master.AS)
+		if err != nil {
+			co.err = err
+			return
+		}
+		cost := bytes * SimInstallPerByte
+		atomic.AddInt64(&rt.Sim.RegionTime, cost)
+		atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+		recs := rt.commitOne(cp)
+		co.lastInstalled = cp
+		co.mu.Lock()
+		co.doneThrough = c + 1
+		co.mu.Unlock()
+		co.cond.Broadcast()
+		busy := int64(time.Since(busyStart))
+		if co.overlapped() {
+			atomic.AddInt64(&rt.Stats.OverlappedCommitNS, busy)
+		}
+		if tr.On() {
+			tr.Emit(obs.Event{Kind: obs.KCommitAsync, TimeNS: tv, DurNS: tr.Now() - tv,
+				Invocation: sp.inv, Worker: -1, Iter: c, A: bytes, B: recs})
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package specrt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"privateer/internal/classify"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/obs"
+	"privateer/internal/vm"
+)
+
+// TestPipelineEquivalenceClean: on a misspeculation-free workload the
+// pipelined committer must produce the same result, the same final master
+// state, and the same simulated-time accounting as the synchronous barrier
+// path, at every worker count and checkpoint period.
+func TestPipelineEquivalenceClean(t *testing.T) {
+	const n = 37
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, period := range []int64{1, 3, 7, 100} {
+			run := func(pipeline bool) (*RT, uint64) {
+				mod := buildWriterModule(n)
+				ri := buildRegion(t, mod)
+				rt := New(mod, Config{
+					Workers: workers, CheckpointPeriod: period, Pipeline: pipeline,
+				}, ri)
+				got, err := rt.Run()
+				if err != nil {
+					t.Fatalf("w=%d k=%d pipeline=%v: %v", workers, period, pipeline, err)
+				}
+				return rt, got
+			}
+			sync, syncGot := run(false)
+			pipe, pipeGot := run(true)
+			if pipeGot != want || syncGot != want {
+				t.Errorf("w=%d k=%d: pipeline=%d sync=%d, want %d", workers, period, pipeGot, syncGot, want)
+			}
+			if pipe.Stats.Misspecs != 0 {
+				t.Errorf("w=%d k=%d: pipelined run misspeculated %d times", workers, period, pipe.Stats.Misspecs)
+			}
+			if pipe.Output() != sync.Output() {
+				t.Errorf("w=%d k=%d: output diverged", workers, period)
+			}
+			if pipe.Sim != sync.Sim {
+				t.Errorf("w=%d k=%d: simulated accounting diverged:\npipeline %+v\nsync     %+v",
+					workers, period, pipe.Sim, sync.Sim)
+			}
+		}
+	}
+}
+
+// TestPipelineEquivalenceUnderInjection: with artificial misspeculation the
+// recovery boundary is schedule-dependent, but the final result and the
+// committed output must still match the sequential reference exactly.
+func TestPipelineEquivalenceUnderInjection(t *testing.T) {
+	const n = 48
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 3, 7, 99} {
+		for _, rate := range []float64{0.05, 0.2, 1.0} {
+			mod := buildWriterModule(n)
+			ri := buildRegion(t, mod)
+			rt := New(mod, Config{
+				Workers: 4, CheckpointPeriod: 5, Pipeline: true,
+				MisspecRate: rate, Seed: seed,
+			}, ri)
+			got, err := rt.Run()
+			if err != nil {
+				t.Fatalf("seed=%d rate=%v: %v", seed, rate, err)
+			}
+			if got != want {
+				t.Errorf("seed=%d rate=%v: result %d, want %d", seed, rate, got, want)
+			}
+		}
+	}
+}
+
+// TestPipelineCrossIntervalGolden pins the committer's event sequence for
+// the cross-interval violation module: interval 0 validates eagerly and
+// commits asynchronously, interval 1's eager validation detects the
+// violation, cancels the in-flight span, and recovery resumes from the
+// last-committed boundary — with output byte-identical to the synchronous
+// path. Only committer- and master-emitted kinds are kept: they are
+// totally ordered (the committer is one goroutine, and the master emits
+// recovery only after draining it), unlike worker-side events.
+func TestPipelineCrossIntervalGolden(t *testing.T) {
+	mod := buildCrossIntervalModule()
+	ri := outlineRegion(t, mod, &classify.Assignment{})
+	col := obs.NewCollector(0)
+	rt := New(mod, Config{
+		Workers: 2, CheckpointPeriod: 4, Pipeline: true,
+		Trace: obs.NewTracer(col),
+	}, ri)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rt.Output(), "v=2\n"; got != want {
+		t.Errorf("output %q, want %q (synchronous-path semantics)", got, want)
+	}
+	if rt.Stats.Misspecs == 0 {
+		t.Error("cross-interval violation not detected eagerly")
+	}
+	keep := map[obs.Kind]bool{
+		obs.KSpanStart: true, obs.KValidateEager: true, obs.KCommitAsync: true,
+		obs.KCancel: true, obs.KMisspec: true, obs.KRecovery: true,
+		obs.KSeqFallback: true, obs.KRegionInvoke: true,
+	}
+	var got []string
+	for _, ev := range col.Events() {
+		if !keep[ev.Kind] {
+			continue
+		}
+		s := ev.Kind.String()
+		if ev.Cause != "" {
+			s += ":" + ev.Cause
+		}
+		got = append(got, s)
+	}
+	want := []string{
+		"span-start",
+		"validate-eager", "commit-async",
+		"validate-eager", "misspec:privacy violated (cross-interval)",
+		"cancel:privacy violated (cross-interval)",
+		"recovery",
+		"region-invoke",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("event sequence:\n got %v\nwant %v", got, want)
+	}
+	// The metrics fold must surface the new pipeline counters.
+	ms := obs.Summarize(col.Events())
+	for _, m := range ms {
+		if m.Invocation != 0 {
+			continue
+		}
+		if m.EagerValidations != 2 || m.AsyncCommits != 1 || m.Cancels != 1 {
+			t.Errorf("pipeline metrics eager=%d async=%d cancels=%d, want 2/1/1",
+				m.EagerValidations, m.AsyncCommits, m.Cancels)
+		}
+	}
+}
+
+// TestPipelineOverlapAccounted: on a clean multi-interval run the committer
+// must overlap at least the early intervals with execution, record them as
+// async commits, and credit OverlappedCommitNS.
+func TestPipelineOverlapAccounted(t *testing.T) {
+	const n = 200
+	mod := buildWriterModule(n)
+	ri := buildRegion(t, mod)
+	col := obs.NewCollector(0)
+	rt := New(mod, Config{
+		Workers: 2, CheckpointPeriod: 10, Pipeline: true,
+		Trace: obs.NewTracer(col),
+	}, ri)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := obs.CountByKind(col.Events())
+	if counts[obs.KValidateEager] != 20 || counts[obs.KCommitAsync] != 20 {
+		t.Errorf("eager validations %d, async commits %d, want 20 each",
+			counts[obs.KValidateEager], counts[obs.KCommitAsync])
+	}
+	if counts[obs.KCancel] != 0 {
+		t.Errorf("unexpected cancels: %d", counts[obs.KCancel])
+	}
+}
+
+// TestCrossValidateShardedEquivalence: the sharded chain validation must
+// report the same first-violating checkpoint as the serial walk for every
+// shard count, including chains where different pages violate at different
+// intervals (the answer is the minimum over pages).
+func TestCrossValidateShardedEquivalence(t *testing.T) {
+	pageBase := func(i int) uint64 {
+		return ir.ShadowAddr(ir.HeapPrivate.Base()+uint64(i+1)*vm.PageSize) &^ uint64(vm.PageSize-1)
+	}
+	// A chain of 6 intervals over 32 pages: page p is written in interval
+	// p%3 and read live-in in interval p%3+d (violating when d>0). Page 7
+	// violates earliest (interval 1); most pages are clean.
+	build := func() *checkpoint {
+		var chain []*checkpoint
+		var prev *checkpoint
+		for id := int64(0); id < 6; id++ {
+			cp := newCheckpoint(id, id*4, (id+1)*4, prev)
+			chain = append(chain, cp)
+			prev = cp
+		}
+		for p := 0; p < 32; p++ {
+			base := pageBase(p)
+			w := int64(p % 3)
+			chain[w].ownPage(chain[w].shadow, base)[p] = MetaTSBase
+			if p == 7 {
+				chain[w+1].ownPage(chain[w+1].shadow, base)[p] = MetaReadLiveIn
+			} else if p%5 == 0 {
+				chain[w+2].ownPage(chain[w+2].shadow, base)[p] = MetaReadLiveIn
+			} else {
+				chain[w+1].ownPage(chain[w+1].shadow, base)[p+1] = MetaReadLiveIn // disjoint byte: clean
+			}
+		}
+		return chain[5]
+	}
+	want := build().crossValidate()
+	if want < 0 {
+		t.Fatal("test chain should violate")
+	}
+	for _, shards := range []int{1, 2, 3, 8, 64} {
+		if got := build().crossValidateSharded(shards); got != want {
+			t.Errorf("shards=%d: first violation %d, want %d", shards, got, want)
+		}
+	}
+	// A clean chain must stay clean at every shard count.
+	clean := func() *checkpoint {
+		cp0 := newCheckpoint(0, 0, 4, nil)
+		cp1 := newCheckpoint(1, 4, 8, cp0)
+		for p := 0; p < 32; p++ {
+			cp0.ownPage(cp0.shadow, pageBase(p))[1] = MetaTSBase
+			cp1.ownPage(cp1.shadow, pageBase(p))[2] = MetaReadLiveIn
+		}
+		return cp1
+	}
+	for _, shards := range []int{1, 2, 8} {
+		if got := clean().crossValidateSharded(shards); got != -1 {
+			t.Errorf("clean chain, shards=%d: flagged %d", shards, got)
+		}
+	}
+}
+
+// TestShardedMergeEquivalence: addWorkerState must produce the same merged
+// checkpoint (data, shadow, verdict) whether the page scan is serial or
+// sharded.
+func TestShardedMergeEquivalence(t *testing.T) {
+	mkWorker := func() *vm.AddressSpace {
+		ws := vm.NewAddressSpace()
+		for p := 0; p < 16; p++ {
+			addr := ir.HeapPrivate.Base() + uint64(p)*vm.PageSize + uint64(p)
+			if err := ws.Write(addr, 1, uint64(p+1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ws.Write(ir.ShadowAddr(addr), 1, uint64(MetaTSBase)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ws
+	}
+	merge := func(shards int) *checkpoint {
+		cp := newCheckpoint(0, 0, 4, nil)
+		ok, scanned, contributed := cp.addWorkerState(0, mkWorker(), nil, nil, shards)
+		if !ok || scanned == 0 || contributed != 1 {
+			t.Fatalf("shards=%d: ok=%v scanned=%d contributed=%d", shards, ok, scanned, contributed)
+		}
+		return cp
+	}
+	ref := merge(1)
+	for _, shards := range []int{2, 4, 8} {
+		got := merge(shards)
+		if len(got.data) != len(ref.data) || len(got.shadow) != len(ref.shadow) {
+			t.Fatalf("shards=%d: page counts diverged", shards)
+		}
+		for base, pg := range ref.data {
+			if fmt.Sprint(got.data[base]) != fmt.Sprint(pg) {
+				t.Errorf("shards=%d: data page %#x diverged", shards, base)
+			}
+		}
+		for base, pg := range ref.shadow {
+			if fmt.Sprint(got.shadow[base]) != fmt.Sprint(pg) {
+				t.Errorf("shards=%d: shadow page %#x diverged", shards, base)
+			}
+		}
+	}
+}
+
+// TestCommitOutputRace hammers the committed-output stream from concurrent
+// goroutines — the commitOne/writeOut paths the pipelined committer and the
+// master share. Run under -race this pins the outMu locking discipline;
+// the final stream must contain every record exactly once.
+func TestCommitOutputRace(t *testing.T) {
+	rt := New(ir.NewModule("empty"), Config{})
+	const perG, gs = 200, 4
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if g%2 == 0 {
+					cp := newCheckpoint(int64(i), 0, 1, nil)
+					cp.io = append(cp.io, ioRec{iter: int64(i), text: "c\n"})
+					rt.commitOne(cp)
+				} else {
+					rt.writeOut("w\n")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	out := rt.Output()
+	if got, want := strings.Count(out, "\n"), perG*gs; got != want {
+		t.Errorf("committed %d records, want %d", got, want)
+	}
+}

@@ -1,10 +1,3 @@
-// Package specrt is Privateer's runtime support system (section 5 of the
-// paper). It manages the logical heaps and validates their speculative
-// separation, validates speculative privacy through shadow-memory metadata
-// (Table 2), coordinates periodic checkpoints, recovers from
-// misspeculation, merges reductions, and commits deferred output — all
-// under DOALL parallel execution with worker "processes" realized as
-// goroutines owning copy-on-write address-space clones.
 package specrt
 
 import (

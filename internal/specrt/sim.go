@@ -59,9 +59,9 @@ type SimStats struct {
 	// UsefulSteps is Σ over workers of interpreted instructions (the
 	// original program's work).
 	UsefulSteps int64
-	// PrivReadCost and PrivWriteCost are the simulated privacy-validation
-	// costs.
-	PrivReadCost  int64
+	// PrivReadCost is the simulated privacy-validation cost of reads.
+	PrivReadCost int64
+	// PrivWriteCost is the simulated privacy-validation cost of writes.
 	PrivWriteCost int64
 	// CheckpointCost is the simulated merge + install + commit cost.
 	CheckpointCost int64

@@ -2,6 +2,7 @@ package specrt
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -54,6 +55,21 @@ type Config struct {
 	Seed uint64
 	// StepLimit bounds each worker's interpreter (0 = default).
 	StepLimit int64
+	// Pipeline enables the pipelined validator/committer: a background
+	// goroutine eagerly chain-validates, installs, and commits checkpoint k
+	// as soon as interval k quiesces, while workers execute interval k+1 —
+	// moving validation and commit off the master's critical path (the
+	// paper's separate commit process, §5.2-§5.3). Off, the span uses the
+	// quiesce-then-commit barrier model. Both modes produce byte-identical
+	// output and results; on misspeculation-free runs the simulated-time
+	// accounting is identical too (misspeculation timing is inherently
+	// schedule-dependent in either mode — recovery keeps the outcome exact).
+	Pipeline bool
+	// ValidateShards caps the goroutines used to shard checkpoint merge and
+	// cross-interval validation scans by shadow-page range. 0 selects
+	// automatically (GOMAXPROCS, capped at 8); 1 forces serial scans.
+	// Results are independent of the shard count.
+	ValidateShards int
 	// Trace receives speculation-lifecycle events (nil disables tracing;
 	// every emission site is then a single branch).
 	Trace *obs.Tracer
@@ -85,12 +101,14 @@ type Stats struct {
 	// SequentialFallbacks counts invocations abandoned to pure sequential
 	// execution after the per-invocation recovery budget was spent.
 	SequentialFallbacks int64
-	// PrivReadBytes and PrivWriteBytes total privacy-checked volume
-	// (Table 3's "Priv R"/"Priv W").
-	PrivReadBytes  int64
+	// PrivReadBytes totals privacy-checked read volume (Table 3's "Priv R").
+	PrivReadBytes int64
+	// PrivWriteBytes totals privacy-checked write volume (Table 3's
+	// "Priv W").
 	PrivWriteBytes int64
-	// PrivReadChecks and PrivWriteChecks count dynamic privacy checks.
-	PrivReadChecks  int64
+	// PrivReadChecks counts dynamic privacy read checks.
+	PrivReadChecks int64
+	// PrivWriteChecks counts dynamic privacy write checks.
 	PrivWriteChecks int64
 	// SeparationChecks counts dynamic check_heap executions.
 	SeparationChecks int64
@@ -98,14 +116,29 @@ type Stats struct {
 	Predictions int64
 	// DeferredIO counts buffered output operations.
 	DeferredIO int64
-	// Timing (nanoseconds, atomically accumulated).
-	SpawnNS      int64
-	JoinNS       int64
+	// SpawnNS is wall-clock worker spawn time (nanoseconds, atomically
+	// accumulated, like every timing field below).
+	SpawnNS int64
+	// JoinNS is the master-side validate/install/commit critical path after
+	// workers quiesce: in synchronous mode the whole chain validation plus
+	// install plus commit; in pipelined mode only the drain — whatever the
+	// background committer had not already overlapped with execution.
+	JoinNS int64
+	// CheckpointNS is wall-clock time workers spent merging state into
+	// checkpoints.
 	CheckpointNS int64
-	PrivReadNS   int64
-	PrivWriteNS  int64
+	// PrivReadNS is wall-clock time in privacy read checks.
+	PrivReadNS int64
+	// PrivWriteNS is wall-clock time in privacy write checks.
+	PrivWriteNS int64
+	// WorkerBusyNS is total wall-clock worker execution time.
 	WorkerBusyNS int64
+	// RegionWallNS is wall-clock time inside parallel-region invocations.
 	RegionWallNS int64
+	// OverlappedCommitNS is wall-clock validate/install/commit time the
+	// pipelined committer performed while workers were still executing —
+	// work the synchronous mode would have serialized into JoinNS.
+	OverlappedCommitNS int64
 }
 
 // RT is the runtime: it executes a transformed module, intercepting
@@ -121,8 +154,32 @@ type RT struct {
 	Sim SimStats
 
 	regions map[*ir.Function]*RegionInfo
-	out     strings.Builder
-	master  *interp.Interp
+
+	// Locking discipline for committed program output.
+	//
+	// outMu guards out (the committed output stream) and each checkpoint's
+	// committed flag transition: every writer goes through writeOut or
+	// commitOne. Historically rt.out was mutated without a lock, which was
+	// sound only because commit ran on the master thread after the span
+	// quiesced; with Config.Pipeline the background committer writes output
+	// while worker goroutines are still running, so the invariant is now
+	// explicit:
+	//
+	//   - master thread: writes via OnPrint only outside parallel regions,
+	//     and via sequentialRange only after the span (and its committer)
+	//     has fully joined;
+	//   - committer goroutine: writes via commitOne only between span start
+	//     and its done-channel close, which span.run awaits before
+	//     returning;
+	//   - workers: never write out (their prints defer into worker-local
+	//     buffers).
+	//
+	// The mutex makes the discipline checkable under -race rather than a
+	// comment-only convention; at most one writer ever contends, so it
+	// costs an uncontended lock per record.
+	outMu  sync.Mutex
+	out    strings.Builder
+	master *interp.Interp
 
 	reduxMu sync.Mutex
 	// reduxObjs tracks live reduction objects keyed by base address, so
@@ -150,7 +207,19 @@ func New(mod *ir.Module, cfg Config, regions ...*RegionInfo) *RT {
 
 // Output returns everything the program printed, with deferred region
 // output committed in order.
-func (rt *RT) Output() string { return rt.out.String() }
+func (rt *RT) Output() string {
+	rt.outMu.Lock()
+	defer rt.outMu.Unlock()
+	return rt.out.String()
+}
+
+// writeOut appends text to the committed output stream (see the locking
+// discipline note on outMu).
+func (rt *RT) writeOut(text string) {
+	rt.outMu.Lock()
+	rt.out.WriteString(text)
+	rt.outMu.Unlock()
+}
 
 // Master exposes the main process interpreter (after Run).
 func (rt *RT) Master() *interp.Interp { return rt.master }
@@ -180,7 +249,7 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 	rt.master = master
 	master.AS.Trace = rt.Cfg.Trace
 	master.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
-		rt.out.WriteString(text)
+		rt.writeOut(text)
 		return true
 	}
 	master.Hooks.OnAlloc = rt.onAlloc
@@ -331,9 +400,11 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 			return err
 		}
 		if misspecAt < 0 {
-			// Clean completion: install the final checkpoint.
+			// Clean completion: install the final checkpoint. A pipelined
+			// span (span.installed) has already installed and committed
+			// everything from its background committer.
 			joinStart := time.Now()
-			if lastValid != nil {
+			if lastValid != nil && !span.installed {
 				if err := rt.installCheckpoint(lastValid, span.redux, inv); err != nil {
 					return err
 				}
@@ -344,7 +415,7 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 		// Misspeculation: recover.
 		recoveries++
 		atomic.AddInt64(&rt.Stats.Recoveries, 1)
-		if lastValid != nil {
+		if lastValid != nil && !span.installed {
 			if err := rt.installCheckpoint(lastValid, span.redux, inv); err != nil {
 				return err
 			}
@@ -397,8 +468,27 @@ func (rt *RT) installCheckpoint(cp *checkpoint, redux []reduxObj, inv int64) err
 	return nil
 }
 
+// commitOne commits one checkpoint's deferred output in iteration order and
+// marks it committed, all under outMu (see the locking discipline note),
+// returning the number of records. Both the synchronous chain commit and
+// the pipelined committer route through it.
+func (rt *RT) commitOne(c *checkpoint) int64 {
+	recs := c.sortedIO()
+	rt.outMu.Lock()
+	for _, rec := range recs {
+		rt.out.WriteString(rec.text)
+	}
+	c.committed = true
+	rt.outMu.Unlock()
+	cost := int64(len(recs)) * SimCommitPerIO
+	atomic.AddInt64(&rt.Sim.RegionTime, cost)
+	atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+	return int64(len(recs))
+}
+
 // commitChain commits every uncommitted checkpoint up to cp, emitting
-// deferred output in order.
+// deferred output in order (the synchronous commit path; the pipelined
+// committer instead calls commitOne per interval as each quiesces).
 func (rt *RT) commitChain(cp *checkpoint, inv int64) {
 	var chain []*checkpoint
 	for c := cp; c != nil; c = c.prev {
@@ -409,21 +499,49 @@ func (rt *RT) commitChain(cp *checkpoint, inv int64) {
 	}
 	var committed int64
 	for i := len(chain) - 1; i >= 0; i-- {
-		c := chain[i]
-		recs := c.sortedIO()
-		for _, rec := range recs {
-			rt.out.WriteString(rec.text)
-		}
-		cost := int64(len(recs)) * SimCommitPerIO
-		atomic.AddInt64(&rt.Sim.RegionTime, cost)
-		atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
-		committed += int64(len(recs))
-		c.committed = true
+		committed += rt.commitOne(chain[i])
 	}
 	if len(chain) > 0 {
 		rt.Cfg.Trace.Instant(obs.Event{Kind: obs.KCommit,
 			Invocation: inv, Worker: -1, Iter: cp.id, A: committed})
 	}
+}
+
+// installRedux folds cp's cumulative reduction contributions into the
+// master state: the per-span final step of the pipelined path, whose data
+// pages and output were already installed interval by interval. It accounts
+// the same simulated cost and emits the same KInstall event the synchronous
+// whole-chain install attributes to its reduction bytes.
+func (rt *RT) installRedux(cp *checkpoint, redux []reduxObj, inv int64) error {
+	tr := rt.Cfg.Trace
+	t0 := tr.Now()
+	bytes, err := cp.installReduxInto(rt.master.AS, redux)
+	if err != nil {
+		return err
+	}
+	cost := bytes * SimInstallPerByte
+	atomic.AddInt64(&rt.Sim.RegionTime, cost)
+	atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
+	if tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KInstall, TimeNS: t0, DurNS: tr.Now() - t0,
+			Invocation: inv, Worker: -1, Iter: cp.id, A: bytes})
+	}
+	return nil
+}
+
+// validateShards resolves Config.ValidateShards (see its doc comment).
+func (rt *RT) validateShards() int {
+	s := rt.Cfg.ValidateShards
+	if s == 0 {
+		s = runtime.GOMAXPROCS(0)
+		if s > 8 {
+			s = 8
+		}
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // sequentialRange executes iterations [from, to) non-speculatively on the
@@ -439,7 +557,7 @@ func (rt *RT) sequentialRange(ri *RegionInfo, from, to int64, live []uint64) err
 		it.StepLimit = rt.Cfg.StepLimit
 	}
 	it.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
-		rt.out.WriteString(text)
+		rt.writeOut(text)
 		return true
 	}
 	// Recovery mutates master state directly, so the redux registry must

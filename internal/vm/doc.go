@@ -1,0 +1,31 @@
+// Package vm simulates the virtual-memory substrate the Privateer runtime
+// is built on: per-process page tables, copy-on-write page duplication, page
+// protections, and logical heaps placed at fixed virtual addresses whose
+// 3-bit heap tag occupies address bits 44-46.
+//
+// The paper implements this with POSIX shm_open/mmap and worker processes;
+// here each worker owns an AddressSpace value. Cloning an AddressSpace marks
+// every page copy-on-write, so a worker's writes are isolated from its
+// parent exactly as fork-style COW isolates processes, and "several calls to
+// mmap" during recovery becomes copying page-table entries from a checkpoint.
+//
+// # Concurrency
+//
+// An AddressSpace is not a concurrent data structure: each one has exactly
+// one owner goroutine, and only that owner may call its methods. What makes
+// concurrent speculation sound anyway is the lazy-clone invariant:
+//
+//	a heap's page-table map that is referenced by two or more address
+//	spaces is never mutated — the first write through any referencing
+//	space materializes a private copy of that map first.
+//
+// Clone therefore only bumps reference counts, and a parent and its clones
+// can execute concurrently without locks: writes on either side copy page
+// tables (and then pages) privately before mutating, so no goroutine ever
+// observes another's mutation through shared structure. This is what lets
+// the pipelined committer (internal/specrt) install checkpoint data into
+// the master space while worker goroutines are still executing against
+// clones taken from it: the shared maps are frozen, and the master's
+// writes materialize private ones. TestConcurrentCloneIsolation pins this
+// under the race detector.
+package vm

@@ -1,13 +1,3 @@
-// Package vm simulates the virtual-memory substrate the Privateer runtime
-// is built on: per-process page tables, copy-on-write page duplication, page
-// protections, and logical heaps placed at fixed virtual addresses whose
-// 3-bit heap tag occupies address bits 44-46.
-//
-// The paper implements this with POSIX shm_open/mmap and worker processes;
-// here each worker owns an AddressSpace value. Cloning an AddressSpace marks
-// every page copy-on-write, so a worker's writes are isolated from its
-// parent exactly as fork-style COW isolates processes, and "several calls to
-// mmap" during recovery becomes copying page-table entries from a checkpoint.
 package vm
 
 import (
