@@ -16,29 +16,32 @@ import (
 	"strings"
 
 	"privateer/internal/bench"
+	"privateer/internal/interp"
 	"privateer/internal/obs"
+	"privateer/internal/specrt"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, or micro")
+			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, or obsoverhead")
 		input     = flag.String("input", "", "input class override: train, ref, alt")
 		quick     = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
 		programs  = flag.String("programs", "", "comma-separated subset of benchmarks")
 		workers   = flag.Int("workers", 0, "machine size override for fig7/fig9")
-		jsonOut   = flag.Bool("json", false, "machine-readable output (micro and pipeline)")
+		jsonOut   = flag.Bool("json", false, "machine-readable output (micro, pipeline, obsoverhead)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON file of the speculation lifecycle")
 		eventsOut = flag.Bool("events", false, "print an event summary table after the experiment")
+		serve     = flag.String("serve", "", "serve live introspection (/metrics, /vars, /spec, /debug/pprof) on this address while experiments run")
 	)
 	flag.Parse()
-	if err := run(*experiment, *input, *quick, *programs, *workers, *jsonOut, *traceOut, *eventsOut); err != nil {
+	if err := run(*experiment, *input, *quick, *programs, *workers, *jsonOut, *traceOut, *eventsOut, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, input string, quick bool, programs string, workers int, jsonOut bool, traceOut string, eventsOut bool) error {
+func run(experiment, input string, quick bool, programs string, workers int, jsonOut bool, traceOut string, eventsOut bool, serve string) error {
 	cfg := bench.DefaultConfig()
 	if quick {
 		cfg = bench.QuickConfig()
@@ -53,6 +56,22 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 		cfg.FixedWorkers = workers
 	}
 
+	// Live introspection: a registry plus HTTP server observing every
+	// speculative run the suite performs.
+	if serve != "" {
+		reg := obs.NewRegistry()
+		srv := obs.NewServer(reg)
+		srv.SetSpec(specrt.LatestSpec)
+		bound, err := srv.Start(serve)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "privateer-bench: introspection server listening on http://%s\n", bound)
+		cfg.Metrics = reg
+		cfg.OpProf = interp.NewOpProfiler(interp.DefaultSampleEvery)
+	}
+
 	// Tracing: events stream into a ring collector; after the experiment the
 	// retained window is exported and/or summarized.
 	var collector *obs.Collector
@@ -61,6 +80,9 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 		collector = obs.NewCollector(1 << 16)
 		tracer = obs.NewTracer(collector)
 		cfg.Trace = tracer
+		if cfg.Metrics != nil {
+			collector.PublishMetrics(cfg.Metrics)
+		}
 	}
 	finishTrace := func() error {
 		if collector == nil {
@@ -118,6 +140,18 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 			fmt.Println(rep.Format())
 		}
 		return finishTrace()
+	}
+	if experiment == "obsoverhead" {
+		rep, err := bench.RunObsOverhead()
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(rep.JSON())
+		} else {
+			fmt.Println(rep.Format())
+		}
+		return nil
 	}
 	suite, err := bench.NewSuite(cfg)
 	if err != nil {

@@ -16,16 +16,81 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"privateer/internal/core"
 	"privateer/internal/interp"
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 	"privateer/internal/progs"
 	"privateer/internal/specrt"
 	"privateer/internal/vm"
 )
+
+// obsState holds the live-introspection wiring when -serve is given: the
+// metrics registry and opcode profiler threaded into the speculative
+// runtime, plus the HTTP server exposing them.
+type obsState struct {
+	reg  *obs.Registry
+	prof *interp.OpProfiler
+	srv  *obs.Server
+}
+
+// serving is the process-wide introspection state (nil without -serve).
+var serving *obsState
+
+// whyMisspec enables the post-run misspeculation-attribution report.
+var whyMisspec bool
+
+// startServe brings up the introspection HTTP server on addr and prints the
+// bound address to stderr (addr may use port 0 for an ephemeral port).
+func startServe(addr string) error {
+	reg := obs.NewRegistry()
+	srv := obs.NewServer(reg)
+	srv.SetSpec(specrt.LatestSpec)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "privateer: introspection server listening on http://%s\n", bound)
+	serving = &obsState{
+		reg:  reg,
+		prof: interp.NewOpProfiler(interp.DefaultSampleEvery),
+		srv:  srv,
+	}
+	return nil
+}
+
+// specConfig builds the runtime configuration, overlaying the introspection
+// registry and profiler when -serve is active.
+func specConfig(workers int, misspec float64, seed uint64, period int64) specrt.Config {
+	cfg := specrt.Config{
+		Workers: workers, MisspecRate: misspec, Seed: seed, CheckpointPeriod: period,
+	}
+	if serving != nil {
+		cfg.Metrics = serving.reg
+		cfg.OpProf = serving.prof
+	}
+	return cfg
+}
+
+// postRun emits the optional attribution report and, with -serve, keeps the
+// process alive so the introspection endpoints stay scrapable after the run.
+func postRun(rt *specrt.RT) {
+	if whyMisspec && rt != nil {
+		fmt.Print(specrt.FormatMisspecSites(rt.MisspecSites()))
+	}
+	if serving != nil {
+		fmt.Fprintln(os.Stderr, "privateer: run complete; serving until interrupted")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		serving.srv.Close()
+	}
+}
 
 func main() {
 	var (
@@ -41,9 +106,18 @@ func main() {
 		optimize = flag.Bool("O", false, "run the mid-end optimizer before profiling")
 		showOut  = flag.Bool("output", false, "print the program's output")
 		quiet    = flag.Bool("quiet", false, "suppress the pipeline summary")
+		serve    = flag.String("serve", "", "serve live introspection (/metrics, /vars, /spec, /debug/pprof) on this address, e.g. :6060")
+		whyMiss  = flag.Bool("why-misspec", false, "after the run, print misspeculations attributed to allocation sites")
 	)
 	flag.Parse()
 	buildHook = *optimize
+	whyMisspec = *whyMiss
+	if *serve != "" {
+		if err := startServe(*serve); err != nil {
+			fmt.Fprintln(os.Stderr, "privateer:", err)
+			os.Exit(1)
+		}
+	}
 	var err error
 	if *irFile != "" {
 		err = runIRFile(*irFile, *runArgs, *workers, *misspec, *seed, *period, *showOut, *quiet)
@@ -104,9 +178,7 @@ func runIRFile(path, argList string, workers int, misspec float64,
 		}
 		return nil
 	}
-	rt, got, err := core.Run(par, specrt.Config{
-		Workers: workers, MisspecRate: misspec, Seed: seed, CheckpointPeriod: period,
-	}, args...)
+	rt, got, err := core.Run(par, specConfig(workers, misspec, seed, period), args...)
 	if err != nil {
 		return err
 	}
@@ -114,11 +186,13 @@ func runIRFile(path, argList string, workers int, misspec float64,
 	if got != seqVal {
 		match = "DIFFERS FROM"
 	}
+	st := rt.Stats.Snapshot()
 	fmt.Printf("parallel: result %d (%s sequential), %d misspeculations, speedup %.2fx\n",
-		int64(got), match, rt.Stats.Misspecs, float64(seqIt.Steps)/float64(rt.Sim.Time()))
+		int64(got), match, st.Misspecs, float64(seqIt.Steps)/float64(rt.Sim.Time()))
 	if showOut {
 		fmt.Print(rt.Output())
 	}
+	postRun(rt)
 	return nil
 }
 
@@ -179,6 +253,7 @@ func run(progName, input string, workers int, mode string, misspec float64,
 		if showOut {
 			fmt.Print(seqIt.Out.String())
 		}
+		postRun(nil)
 		return nil
 	case "doall":
 		static, err := core.ParallelizeStatic(build(p, in), core.Options{})
@@ -204,6 +279,7 @@ func run(progName, input string, workers int, mode string, misspec float64,
 		if showOut {
 			fmt.Print(runRes.Output)
 		}
+		postRun(nil)
 		return nil
 	case "privateer":
 		par, err := core.Parallelize(build(p, in), core.Options{})
@@ -213,13 +289,11 @@ func run(progName, input string, workers int, mode string, misspec float64,
 		if !quiet {
 			fmt.Print(par.Summary())
 		}
-		rt, _, err := core.Run(par, specrt.Config{
-			Workers: workers, MisspecRate: misspec, Seed: seed, CheckpointPeriod: period,
-		})
+		rt, _, err := core.Run(par, specConfig(workers, misspec, seed, period))
 		if err != nil {
 			return err
 		}
-		st := rt.Stats
+		st := rt.Stats.Snapshot()
 		fmt.Printf("privateer: %d workers, %d invocations, %d checkpoints, "+
 			"%d misspeculations, %d recoveries\n",
 			workers, st.Invocations, st.Checkpoints, st.Misspecs, st.Recoveries)
@@ -231,6 +305,7 @@ func run(progName, input string, workers int, mode string, misspec float64,
 		if showOut {
 			fmt.Print(rt.Output())
 		}
+		postRun(rt)
 		return nil
 	default:
 		return fmt.Errorf("unknown mode %q", mode)

@@ -72,7 +72,7 @@ func (s *Suite) AblationCheckpointPeriod(program string, periods []int64, rate f
 			Period:         k,
 			CleanSpeedup:   pr.speedup(clean),
 			MisspecSpeedup: pr.speedup(dirty),
-			Misspecs:       dirty.Stats.Misspecs,
+			Misspecs:       dirty.Stats.Snapshot().Misspecs,
 		})
 	}
 	return res, nil
@@ -133,10 +133,10 @@ func AblationElision(cfg Config) (*ElisionAblationResult, error) {
 				return nil, err
 			}
 			if disable {
-				row.ChecksWithout = rt.Stats.SeparationChecks
+				row.ChecksWithout = rt.Stats.Snapshot().SeparationChecks
 				row.SpeedupWithout = pr.speedup(rt)
 			} else {
-				row.ChecksWith = rt.Stats.SeparationChecks
+				row.ChecksWith = rt.Stats.Snapshot().SeparationChecks
 				row.SpeedupWith = pr.speedup(rt)
 			}
 		}

@@ -42,6 +42,12 @@ type Config struct {
 	// Trace receives speculation-lifecycle events from every speculative
 	// run the suite performs (nil disables tracing).
 	Trace *obs.Tracer
+	// Metrics, when non-nil, is threaded into every speculative run so a
+	// live introspection server can observe the suite as it executes.
+	Metrics *obs.Registry
+	// OpProf, when non-nil, is the sampling opcode profiler threaded into
+	// every speculative run.
+	OpProf *interp.OpProfiler
 }
 
 // DefaultConfig mirrors the paper's evaluation points.
@@ -79,6 +85,8 @@ type prepared struct {
 	par      *core.Parallelized
 	static   *core.StaticParallelized
 	trace    *obs.Tracer
+	metrics  *obs.Registry
+	opprof   *interp.OpProfiler
 }
 
 // Suite prepares all benchmarks once and runs the experiments.
@@ -101,6 +109,8 @@ func NewSuite(cfg Config) (*Suite, error) {
 			return nil, err
 		}
 		pr.trace = cfg.Trace
+		pr.metrics = cfg.Metrics
+		pr.opprof = cfg.OpProf
 		s.programs = append(s.programs, pr)
 	}
 	return s, nil
@@ -157,6 +167,12 @@ func prepare(p *progs.Program, inputName string) (*prepared, error) {
 func (pr *prepared) runPrivateer(cfg specrt.Config) (*specrt.RT, error) {
 	if cfg.Trace == nil {
 		cfg.Trace = pr.trace
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = pr.metrics
+	}
+	if cfg.OpProf == nil {
+		cfg.OpProf = pr.opprof
 	}
 	rt, _, err := core.Run(pr.par, cfg)
 	return rt, err

@@ -241,7 +241,7 @@ func (s *Suite) Fig9() (*Fig9Result, error) {
 				return nil, fmt.Errorf("fig9 %s rate=%g: %w", pr.prog.Name, rate, err)
 			}
 			res.Speedups[pr.prog.Name] = append(res.Speedups[pr.prog.Name], pr.speedup(rt))
-			res.Misspecs[pr.prog.Name] = append(res.Misspecs[pr.prog.Name], rt.Stats.Misspecs)
+			res.Misspecs[pr.prog.Name] = append(res.Misspecs[pr.prog.Name], rt.Stats.Snapshot().Misspecs)
 		}
 	}
 	return res, nil

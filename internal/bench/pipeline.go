@@ -190,10 +190,11 @@ func measurePipeline(name string, par *core.Parallelized, seqRet uint64, seqOut 
 			if pipeline && (ret != syncRet || rt.Output() != syncOut) {
 				row.OutputMatch = false
 			}
-			row.Misspecs += rt.Stats.Misspecs
-			if j := rt.Stats.JoinNS; best < 0 || j < best {
+			st := rt.Stats.Snapshot()
+			row.Misspecs += st.Misspecs
+			if j := st.JoinNS; best < 0 || j < best {
 				best = j
-				bestOverlap = rt.Stats.OverlappedCommitNS
+				bestOverlap = st.OverlappedCommitNS
 			}
 		}
 		if pipeline {

@@ -59,12 +59,13 @@ func (s *Suite) Table3() (*Table3Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table3 %s: %w", pr.prog.Name, err)
 		}
+		st := rt.Stats.Snapshot()
 		row := Table3Row{
 			Program:     pr.prog.Name,
-			Invocations: rt.Stats.Invocations,
-			Checkpoints: rt.Stats.Checkpoints,
-			PrivR:       rt.Stats.PrivReadBytes,
-			PrivW:       rt.Stats.PrivWriteBytes,
+			Invocations: st.Invocations,
+			Checkpoints: st.Checkpoints,
+			PrivR:       st.PrivReadBytes,
+			PrivW:       st.PrivWriteBytes,
 		}
 		for _, ri := range pr.par.Regions {
 			st := ri.TStats

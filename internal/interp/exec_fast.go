@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"math"
 
 	"privateer/internal/ir"
 )
@@ -24,6 +25,12 @@ const (
 	hRedux
 	hPredict
 	hMisspec
+	// hOpProf is not a Hooks field: it gates the sampling per-opcode
+	// profiler (opprof.go). Unlike the other bits it is tested only at
+	// activation entry and call-return resyncs — the per-instruction gate
+	// is the profNext step threshold, held at MaxInt64 while the bit is
+	// clear, so profiling on or off costs one register compare either way.
+	hOpProf
 )
 
 // computeHookMask derives the active-hook bitmask from the Hooks structure.
@@ -71,6 +78,9 @@ func (it *Interp) computeHookMask() uint32 {
 	if h.Misspec != nil {
 		m |= hMisspec
 	}
+	if it.Prof != nil {
+		m |= hOpProf
+	}
 	return m
 }
 
@@ -114,6 +124,15 @@ func (it *Interp) execDecoded(fr *Frame, df *decodedFunc) (uint64, error) {
 	mask := it.hookMask
 	limit := it.stepLimit()
 	steps := it.Steps
+	// Hoisted profiler state: with profiling off profNext is a sentinel no
+	// steps value ever reaches, so the loop needs no separate mask test.
+	// With profiling on it mirrors it.profNext and is resynced wherever
+	// steps is (nested activations rearm it). Either way the dispatch loop
+	// pays one register compare per instruction.
+	profNext := int64(math.MaxInt64)
+	if mask&hOpProf != 0 {
+		profNext = it.profNext
+	}
 	pc := int32(0)
 	for {
 		di := &code[pc]
@@ -121,6 +140,11 @@ func (it *Interp) execDecoded(fr *Frame, df *decodedFunc) (uint64, error) {
 		if steps > limit {
 			it.Steps = steps
 			return 0, fmt.Errorf("interp: step limit %d exceeded in %s", limit, fr.Fn.Name)
+		}
+		if steps >= profNext {
+			it.Steps = steps
+			it.profSample(fr, di.op)
+			profNext = it.profNext
 		}
 		switch di.op {
 		case ir.OpConst, ir.OpFConst:
@@ -346,6 +370,9 @@ func (it *Interp) execDecoded(fr *Frame, df *decodedFunc) (uint64, error) {
 				}
 				if handled {
 					steps = it.Steps
+					if mask&hOpProf != 0 {
+						profNext = it.profNext
+					}
 					vals[di.dst] = v
 					break
 				}
@@ -355,6 +382,9 @@ func (it *Interp) execDecoded(fr *Frame, df *decodedFunc) (uint64, error) {
 				return 0, err
 			}
 			steps = it.Steps
+			if mask&hOpProf != 0 {
+				profNext = it.profNext
+			}
 			vals[di.dst] = v
 		case ir.OpBuiltin:
 			v, err := it.builtin(di.in, fr)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"privateer/internal/ir"
 	"privateer/internal/vm"
@@ -25,6 +26,10 @@ type MisspecError struct {
 	Instr *ir.Instr
 	// Reason describes the violated speculative property.
 	Reason string
+	// Addr is the faulting address when the violation concerns a specific
+	// memory location (privacy and separation checks); 0 otherwise. The
+	// runtime uses it to attribute misspeculations to allocation sites.
+	Addr uint64
 }
 
 func (e *MisspecError) Error() string {
@@ -117,6 +122,10 @@ type Interp struct {
 	Steps int64
 	// MaxDepth bounds recursion; 0 means the default (4096).
 	MaxDepth int
+	// Prof, when non-nil, enables the sampling per-opcode profiler (see
+	// opprof.go). Multiple interpreters may share one profiler; setting it
+	// costs one extra hook-mask bit in the dispatch loop.
+	Prof *OpProfiler
 
 	globalsLaidOut bool
 	globalAddrs    map[*ir.Global]uint64
@@ -133,6 +142,16 @@ type Interp struct {
 	// exec_fast.go); recomputed on every call so the dispatch loop tests a
 	// register instead of thirteen function pointers per instruction.
 	hookMask uint32
+	// profNext is the Steps value at which the next profiler sample is due,
+	// profLastSteps the Steps value at the previous sample (the window in
+	// between is attributed to the sampled opcode), and profLast the
+	// previous sample's timestamp.
+	profNext      int64
+	profLastSteps int64
+	profLast      time.Time
+	// profArmed records that the profiler thresholds were initialized for
+	// the current outermost activation.
+	profArmed bool
 }
 
 // New returns an interpreter for mod over as.
@@ -236,6 +255,15 @@ func (it *Interp) call(fn *ir.Function, args []uint64, caller *Frame) (uint64, e
 	if len(args) != len(fn.Params) {
 		return 0, fmt.Errorf("interp: %s wants %d args, got %d", fn.Name, len(fn.Params), len(args))
 	}
+	var profSteps0 int64
+	if it.Prof != nil {
+		if !it.profArmed {
+			it.profArmed = true
+			it.profNext = it.Steps + it.Prof.sampleEvery
+			it.profLastSteps = it.Steps
+		}
+		profSteps0 = it.Steps
+	}
 	var df *decodedFunc
 	nvals := fn.NumValues()
 	if !it.treeWalk {
@@ -273,6 +301,15 @@ func (it *Interp) call(fn *ir.Function, args []uint64, caller *Frame) (uint64, e
 	}
 	if it.Hooks.OnExit != nil {
 		it.Hooks.OnExit(fr)
+	}
+	if it.Prof != nil {
+		it.Prof.noteCall(fn, it.Steps-profSteps0)
+		if caller == nil {
+			// Outermost activation done: drop the sampling baseline so a
+			// later activation does not inherit a stale window.
+			it.profLast = time.Time{}
+			it.profArmed = false
+		}
 	}
 	return ret, err
 }
@@ -316,6 +353,9 @@ func (it *Interp) exec(fr *Frame) (uint64, error) {
 			it.Steps++
 			if it.Steps > limit {
 				return 0, fmt.Errorf("interp: step limit %d exceeded in %s", limit, fr.Fn.Name)
+			}
+			if it.Prof != nil && it.Steps >= it.profNext {
+				it.profSample(fr, in.Op)
 			}
 			switch in.Op {
 			case ir.OpRet:

@@ -1,0 +1,189 @@
+package interp
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privateer/internal/ir"
+)
+
+// DefaultSampleEvery is the profiler's default sampling period: one
+// wall-clock sample per this many executed instructions. Large enough
+// that the time.Now() cost vanishes, small enough to attribute time
+// within a single checkpoint interval.
+const DefaultSampleEvery = 1024
+
+// OpProfiler is a sampling per-opcode, per-function execution profiler.
+// One profiler is shared by every interpreter of a run (master, workers,
+// recovery). Every sampleEvery executed instructions the interpreter takes
+// one sample: the instruction window since the previous sample is
+// attributed to the opcode the sample landed on, and the wall time since
+// the previous sample is attributed to that opcode and the current
+// function. Because sampling is by instruction count, the expected share
+// of windows landing on an opcode equals its share of the instruction
+// stream, so Executed converges on the true per-opcode counts — it is an
+// unbiased estimate, not an exact count. The fast path pays only one
+// register compare per instruction. All methods are safe for concurrent
+// use.
+type OpProfiler struct {
+	sampleEvery int64
+	opExec      [ir.NumOps]int64 // atomic; estimated executed instructions per opcode
+	opSamples   [ir.NumOps]int64 // atomic; samples per opcode
+	opSampleNS  [ir.NumOps]int64 // atomic; sampled wall time per opcode
+	fns         sync.Map         // *ir.Function -> *funcProf
+}
+
+// funcProf accumulates one IR function's profile; all fields atomic.
+type funcProf struct {
+	calls    int64
+	steps    int64
+	samples  int64
+	sampleNS int64
+}
+
+// NewOpProfiler returns a profiler sampling wall time every sampleEvery
+// executed instructions; sampleEvery <= 0 selects DefaultSampleEvery.
+func NewOpProfiler(sampleEvery int64) *OpProfiler {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	return &OpProfiler{sampleEvery: sampleEvery}
+}
+
+// fnProf finds or creates fn's profile record.
+func (p *OpProfiler) fnProf(fn *ir.Function) *funcProf {
+	if v, ok := p.fns.Load(fn); ok {
+		return v.(*funcProf)
+	}
+	v, _ := p.fns.LoadOrStore(fn, &funcProf{})
+	return v.(*funcProf)
+}
+
+// noteCall records one completed activation of fn with its inclusive
+// executed-instruction count.
+func (p *OpProfiler) noteCall(fn *ir.Function, steps int64) {
+	fp := p.fnProf(fn)
+	atomic.AddInt64(&fp.calls, 1)
+	atomic.AddInt64(&fp.steps, steps)
+}
+
+// profSample takes one sample: the instruction window and (when a previous
+// timestamp exists) the wall time since the last sample are attributed to
+// op, and the interpreter's next-sample step threshold is rearmed. Callers
+// must have synced it.Steps first.
+func (it *Interp) profSample(fr *Frame, op ir.Op) {
+	p := it.Prof
+	if win := it.Steps - it.profLastSteps; win > 0 {
+		atomic.AddInt64(&p.opExec[op], win)
+	}
+	it.profLastSteps = it.Steps
+	it.profNext = it.Steps + p.sampleEvery
+	now := time.Now()
+	if !it.profLast.IsZero() {
+		d := now.Sub(it.profLast).Nanoseconds()
+		atomic.AddInt64(&p.opSampleNS[op], d)
+		atomic.AddInt64(&p.opSamples[op], 1)
+		fp := p.fnProf(fr.Fn)
+		atomic.AddInt64(&fp.samples, 1)
+		atomic.AddInt64(&fp.sampleNS, d)
+	}
+	it.profLast = now
+}
+
+// OpProfRow is one opcode's profile snapshot.
+type OpProfRow struct {
+	// Op is the opcode mnemonic.
+	Op string
+	// Executed is the estimated executed-instruction count (the sum of
+	// sampling windows attributed to this opcode).
+	Executed int64
+	// Samples counts wall-time samples landing on this opcode.
+	Samples int64
+	// SampledNS is the wall time statistically attributed to this opcode.
+	SampledNS int64
+}
+
+// FuncProfRow is one IR function's profile snapshot.
+type FuncProfRow struct {
+	// Fn is the function name.
+	Fn string
+	// Calls counts completed activations.
+	Calls int64
+	// Steps is the inclusive executed-instruction total.
+	Steps int64
+	// Samples counts wall-time samples taken inside the function.
+	Samples int64
+	// SampledNS is the wall time statistically attributed to the function.
+	SampledNS int64
+}
+
+// Ops snapshots the nonzero per-opcode rows, busiest first.
+func (p *OpProfiler) Ops() []OpProfRow {
+	if p == nil {
+		return nil
+	}
+	rows := make([]OpProfRow, 0, 32)
+	for op := 0; op < ir.NumOps; op++ {
+		n := atomic.LoadInt64(&p.opExec[op])
+		s := atomic.LoadInt64(&p.opSamples[op])
+		if n == 0 && s == 0 {
+			continue
+		}
+		rows = append(rows, OpProfRow{
+			Op:        ir.Op(op).String(),
+			Executed:  n,
+			Samples:   s,
+			SampledNS: atomic.LoadInt64(&p.opSampleNS[op]),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Executed != rows[j].Executed {
+			return rows[i].Executed > rows[j].Executed
+		}
+		return rows[i].Op < rows[j].Op
+	})
+	return rows
+}
+
+// Funcs snapshots the per-function rows, heaviest (by steps) first.
+func (p *OpProfiler) Funcs() []FuncProfRow {
+	if p == nil {
+		return nil
+	}
+	var rows []FuncProfRow
+	p.fns.Range(func(k, v any) bool {
+		fn := k.(*ir.Function)
+		fp := v.(*funcProf)
+		rows = append(rows, FuncProfRow{
+			Fn:        fn.Name,
+			Calls:     atomic.LoadInt64(&fp.calls),
+			Steps:     atomic.LoadInt64(&fp.steps),
+			Samples:   atomic.LoadInt64(&fp.samples),
+			SampledNS: atomic.LoadInt64(&fp.sampleNS),
+		})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Steps != rows[j].Steps {
+			return rows[i].Steps > rows[j].Steps
+		}
+		return rows[i].Fn < rows[j].Fn
+	})
+	return rows
+}
+
+// TotalExecuted sums the per-opcode estimated executed-instruction counts.
+// It trails the true executed total by at most one sampling window per
+// interpreter (the tail after each interpreter's last sample).
+func (p *OpProfiler) TotalExecuted() int64 {
+	if p == nil {
+		return 0
+	}
+	var t int64
+	for op := 0; op < ir.NumOps; op++ {
+		t += atomic.LoadInt64(&p.opExec[op])
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"testing"
+
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// profModule builds a loop-heavy module (sum plus a helper call per
+// iteration) so the profiler sees both opcode variety and nested
+// activations.
+func profModule(n int64) *ir.Module {
+	m := ir.NewModule("prof")
+	double := m.NewFunc("double", ir.I64)
+	x := double.NewParam("x", ir.I64)
+	db := ir.NewBuilder(double)
+	db.Ret(db.Add(x, x))
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	acc := b.Local("acc")
+	b.St(b.I(0), acc)
+	b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+		b.St(b.Add(b.Ld(acc), b.Call(double, b.Ld(iv))), acc)
+	})
+	b.Ret(b.Ld(acc))
+	for _, fn := range m.SortedFuncs() {
+		ir.PromoteAllocas(fn)
+	}
+	return m
+}
+
+// runProfiled executes profModule under prof, optionally on the treewalk
+// reference path, and returns the interpreter.
+func runProfiled(t *testing.T, prof *OpProfiler, treeWalk bool) *Interp {
+	t.Helper()
+	it := New(profModule(2000), vm.NewAddressSpace())
+	it.SetTreeWalk(treeWalk)
+	it.Prof = prof
+	v, err := it.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2000*1999 {
+		t.Fatalf("profiled run result %d, want %d", v, 2000*1999)
+	}
+	return it
+}
+
+// TestProfilerEstimateCoversStream: the sampled per-opcode estimate must
+// total within one sampling window of the true executed count (the
+// unattributed tail after the last sample), never exceed it, and the
+// per-function calls/steps — which are exact — must match the run.
+func TestProfilerEstimateCoversStream(t *testing.T) {
+	const every = 64
+	prof := NewOpProfiler(every)
+	it := runProfiled(t, prof, false)
+	total := prof.TotalExecuted()
+	if total > it.Steps {
+		t.Errorf("estimated total %d exceeds true steps %d", total, it.Steps)
+	}
+	if it.Steps-total > every {
+		t.Errorf("estimate %d trails steps %d by more than one window (%d)",
+			total, it.Steps, every)
+	}
+	ops := prof.Ops()
+	if len(ops) == 0 {
+		t.Fatal("no opcode rows after a profiled run")
+	}
+	var sum int64
+	for _, r := range ops {
+		if r.Executed < 0 {
+			t.Errorf("opcode %s has negative estimate %d", r.Op, r.Executed)
+		}
+		sum += r.Executed
+	}
+	if sum != total {
+		t.Errorf("row sum %d != TotalExecuted %d", sum, total)
+	}
+	var sawMain, sawDouble bool
+	for _, f := range prof.Funcs() {
+		switch f.Fn {
+		case "main":
+			sawMain = true
+			if f.Calls != 1 {
+				t.Errorf("main calls %d, want 1", f.Calls)
+			}
+			if f.Steps != it.Steps {
+				t.Errorf("main inclusive steps %d, want %d", f.Steps, it.Steps)
+			}
+		case "double":
+			sawDouble = true
+			if f.Calls != 2000 {
+				t.Errorf("double calls %d, want 2000", f.Calls)
+			}
+		}
+	}
+	if !sawMain || !sawDouble {
+		t.Errorf("function rows missing main/double: %+v", prof.Funcs())
+	}
+}
+
+// TestProfilerTreewalkParity: the treewalk reference path must produce the
+// same exact function profile and the same estimate-coverage guarantee as
+// the pre-decoded fast path.
+func TestProfilerTreewalkParity(t *testing.T) {
+	const every = 64
+	fastProf := NewOpProfiler(every)
+	fast := runProfiled(t, fastProf, false)
+	treeProf := NewOpProfiler(every)
+	tree := runProfiled(t, treeProf, true)
+	if fast.Steps != tree.Steps {
+		t.Fatalf("step parity broken: fast %d, treewalk %d", fast.Steps, tree.Steps)
+	}
+	if tree.Steps-treeProf.TotalExecuted() > every {
+		t.Errorf("treewalk estimate %d trails steps %d by more than one window",
+			treeProf.TotalExecuted(), tree.Steps)
+	}
+	ff, tf := fastProf.Funcs(), treeProf.Funcs()
+	if len(ff) != len(tf) {
+		t.Fatalf("function row count differs: fast %d, treewalk %d", len(ff), len(tf))
+	}
+	for i := range ff {
+		if ff[i].Fn != tf[i].Fn || ff[i].Calls != tf[i].Calls || ff[i].Steps != tf[i].Steps {
+			t.Errorf("function profile differs at %d: fast %+v, treewalk %+v",
+				i, ff[i], tf[i])
+		}
+	}
+}
+
+// TestProfilerSharedAcrossInterps: one profiler observing several
+// interpreter runs accumulates across all of them (the specrt runtime
+// shares one profiler between master and workers).
+func TestProfilerSharedAcrossInterps(t *testing.T) {
+	prof := NewOpProfiler(64)
+	a := runProfiled(t, prof, false)
+	b := runProfiled(t, prof, false)
+	total := prof.TotalExecuted()
+	want := a.Steps + b.Steps
+	if total > want || want-total > 2*64 {
+		t.Errorf("shared estimate %d, want within two windows of %d", total, want)
+	}
+	// Each run built its own module, so the two mains are distinct
+	// *ir.Function keys; the profile must carry both.
+	var mainCalls int64
+	for _, f := range prof.Funcs() {
+		if f.Fn == "main" {
+			mainCalls += f.Calls
+		}
+	}
+	if mainCalls != 2 {
+		t.Errorf("main calls %d across two runs, want 2", mainCalls)
+	}
+}
+
+// TestProfilerNilSafe: a nil profiler reads as empty, and an interpreter
+// without one runs unchanged.
+func TestProfilerNilSafe(t *testing.T) {
+	var p *OpProfiler
+	if p.Ops() != nil || p.Funcs() != nil || p.TotalExecuted() != 0 {
+		t.Error("nil profiler must read as empty")
+	}
+	it := New(profModule(10), vm.NewAddressSpace())
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

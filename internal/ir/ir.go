@@ -143,6 +143,10 @@ const (
 	opCount
 )
 
+// NumOps is the number of distinct opcodes (including OpInvalid), for
+// sizing per-opcode tables such as the interpreter's profiler counters.
+const NumOps = int(opCount)
+
 var opNames = [...]string{
 	OpInvalid: "invalid",
 	OpConst:   "const", OpFConst: "fconst", OpSIToFP: "sitofp", OpFPToSI: "fptosi",

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Server is the live introspection HTTP server. It exposes the metrics
+// registry in Prometheus text form at /metrics, an expvar-style JSON dump
+// at /vars, a speculation-state JSON snapshot at /spec, and the standard
+// Go profiling handlers under /debug/pprof/. It uses only the standard
+// library and its own mux, so it never collides with http.DefaultServeMux.
+type Server struct {
+	reg  *Registry
+	spec atomic.Value // func() any
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewServer returns a server exposing reg. reg may be nil (the metric
+// endpoints then serve empty documents).
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/vars", s.handleVars)
+	s.mux.HandleFunc("/spec", s.handleSpec)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// SetSpec installs the provider for the /spec endpoint. The function is
+// called per request and its result rendered as JSON; it must be safe for
+// concurrent use. Passing nil restores the empty document.
+func (s *Server) SetSpec(fn func() any) {
+	s.spec.Store(fn)
+}
+
+// Handler returns the server's mux, for embedding or tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and server. Safe if Start never ran.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// handleIndex lists the available endpoints.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "privateer introspection endpoints:")
+	fmt.Fprintln(w, "  /metrics      Prometheus text metrics")
+	fmt.Fprintln(w, "  /vars         expvar-style JSON metrics")
+	fmt.Fprintln(w, "  /spec         live speculation state (JSON)")
+	fmt.Fprintln(w, "  /debug/pprof/ Go runtime profiles")
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteProm(w)
+}
+
+// handleVars serves the expvar-style JSON snapshot.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = s.reg.WriteVars(w)
+}
+
+// handleSpec serves the speculation-state snapshot from the installed
+// provider, or an empty object when none is installed.
+func (s *Server) handleSpec(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fn, _ := s.spec.Load().(func() any)
+	if fn == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(fn())
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get issues one request against the server's handler and returns the
+// response.
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// TestServerEndpoints: all four endpoint groups must answer 200 with the
+// right content type and body shape, and unknown paths must 404.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_serve_total", "h").Add(9)
+	s := NewServer(reg)
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "t_serve_total 9") {
+		t.Errorf("/metrics body missing series:\n%s", rec.Body.String())
+	}
+
+	rec = get(t, s, "/vars")
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	if vars["t_serve_total"] != float64(9) {
+		t.Errorf("/vars t_serve_total = %v", vars["t_serve_total"])
+	}
+
+	// /spec without a provider serves an empty document; with one, the
+	// provider's value rendered as JSON.
+	rec = get(t, s, "/spec")
+	if strings.TrimSpace(rec.Body.String()) != "{}" {
+		t.Errorf("/spec without provider = %q, want {}", rec.Body.String())
+	}
+	s.SetSpec(func() any { return map[string]int{"workers": 3} })
+	rec = get(t, s, "/spec")
+	var spec map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &spec); err != nil {
+		t.Fatalf("/spec not JSON: %v", err)
+	}
+	if spec["workers"] != 3 {
+		t.Errorf("/spec workers = %d, want 3", spec["workers"])
+	}
+
+	rec = get(t, s, "/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", rec.Code)
+	}
+	rec = get(t, s, "/")
+	if !strings.Contains(rec.Body.String(), "/metrics") {
+		t.Errorf("index does not list endpoints:\n%s", rec.Body.String())
+	}
+	if rec := get(t, s, "/nonexistent"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", rec.Code)
+	}
+}
+
+// TestServerNilRegistry: the metric endpoints must serve (empty) documents
+// when the server was built without a registry.
+func TestServerNilRegistry(t *testing.T) {
+	s := NewServer(nil)
+	if rec := get(t, s, "/metrics"); rec.Code != http.StatusOK {
+		t.Errorf("/metrics status %d with nil registry", rec.Code)
+	}
+	rec := get(t, s, "/vars")
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/vars not JSON with nil registry: %v", err)
+	}
+}
+
+// TestServerStartClose: Start must bind (port 0 picks a free port), serve
+// over real TCP, and Close must stop it. Close without Start is a no-op.
+func TestServerStartClose(t *testing.T) {
+	if err := NewServer(nil).Close(); err != nil {
+		t.Fatalf("Close before Start: %v", err)
+	}
+	reg := NewRegistry()
+	reg.Counter("t_tcp_total", "h").Inc()
+	s := NewServer(reg)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "t_tcp_total 1") {
+		t.Errorf("served metrics missing series:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

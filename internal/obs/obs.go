@@ -38,7 +38,8 @@ const (
 	// "validate", "recover", "commit").
 	KPhase
 	// KMisspec is a detected misspeculation (Iter=iteration, Cause=reason,
-	// Site=the instruction that fired, if any).
+	// Site=the instruction that fired, if any, A=the faulting address when
+	// the violation concerns a specific memory location, 0 otherwise).
 	KMisspec
 	// KRecovery is one sequential recovery episode (A=from, B=to).
 	KRecovery

@@ -66,8 +66,20 @@ type checkpoint struct {
 	contributed int
 	// misspec marks a violation detected during merging.
 	misspec bool
+	// missAddr records the first faulting private-heap address observed by a
+	// merge (CAS-once; 0 = none recorded). Page 0 is never mapped, so 0 is
+	// unambiguous. Feeds misspeculation attribution; best-effort only.
+	missAddr uint64
 	// committed marks the checkpoint non-speculative.
 	committed bool
+}
+
+// noteMissAddr records addr as the checkpoint's first observed faulting
+// address, keeping an earlier recording if one raced in first.
+func (cp *checkpoint) noteMissAddr(addr uint64) {
+	if addr != 0 {
+		atomic.CompareAndSwapUint64(&cp.missAddr, 0, addr)
+	}
 }
 
 func newCheckpoint(id, base, limit int64, prev *checkpoint) *checkpoint {
@@ -100,11 +112,11 @@ type shadowPage struct {
 }
 
 // mergeShadowPage merges one worker shadow page into the checkpoint's
-// combined view and reports whether the merge detected a privacy violation.
-// Distinct shadow pages touch distinct combined pages, so concurrent calls
-// on different pages are safe.
-func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) bool {
-	miss := false
+// combined view and returns the private-heap address of the first privacy
+// violation the merge detects (0 = clean). Distinct shadow pages touch
+// distinct combined pages, so concurrent calls on different pages are safe.
+func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) uint64 {
+	var missAddr uint64
 	privBase := pg.base &^ ir.ShadowBit
 	var combinedSh, combinedData, privData []byte
 	for off := 0; off < vm.PageSize; off++ {
@@ -117,8 +129,8 @@ func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) bool {
 			combinedData = cp.ownPage(cp.data, privBase)
 		}
 		newMeta, takeData, m := MergeByte(combinedSh[off], wm)
-		if m {
-			miss = true
+		if m && missAddr == 0 {
+			missAddr = privBase + uint64(off)
 		}
 		combinedSh[off] = newMeta
 		if takeData {
@@ -132,7 +144,7 @@ func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) bool {
 			combinedData[off] = privData[off]
 		}
 	}
-	return miss
+	return missAddr
 }
 
 // addWorkerState merges one worker's speculative state into the checkpoint:
@@ -155,8 +167,9 @@ func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []r
 	scanned := int64(len(pages)) * vm.PageSize
 	if shards <= 1 || len(pages) < 2*shards {
 		for _, pg := range pages {
-			if cp.mergeShadowPage(ws, pg) {
+			if a := cp.mergeShadowPage(ws, pg); a != 0 {
 				ok = false
+				cp.noteMissAddr(a)
 			}
 		}
 	} else {
@@ -172,8 +185,9 @@ func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []r
 			go func(part []shadowPage) {
 				defer wg.Done()
 				for _, pg := range part {
-					if cp.mergeShadowPage(ws, pg) {
+					if a := cp.mergeShadowPage(ws, pg); a != 0 {
 						missed.Store(true)
+						cp.noteMissAddr(a)
 					}
 				}
 			}(pages[lo:hi])
@@ -191,6 +205,7 @@ func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []r
 		if err := ws.ReadBytes(ro.addr, buf); err != nil {
 			ok = false
 			cp.misspec = true
+			cp.noteMissAddr(ro.addr)
 			continue
 		}
 		contribs, have := cp.redux[ro.addr]
@@ -257,21 +272,22 @@ func (cp *checkpoint) chain() []*checkpoint {
 }
 
 // carryValidatePage folds one interval's shadow page sh into the carried
-// (collapsed) metadata prev for the same page and reports whether the fold
-// observes a cross-interval privacy violation: a byte read as live-in after
-// some earlier interval wrote it, or written after some earlier interval
-// read it as live-in. prev is mutated in place; on a violation it is left
-// partially folded, which is fine because validation aborts the span.
-func carryValidatePage(prev, sh []byte) bool {
+// (collapsed) metadata prev for the same page and returns the page offset of
+// the first cross-interval privacy violation the fold observes (-1 = clean):
+// a byte read as live-in after some earlier interval wrote it, or written
+// after some earlier interval read it as live-in. prev is mutated in place;
+// on a violation it is left partially folded, which is fine because
+// validation aborts the span.
+func carryValidatePage(prev, sh []byte) int {
 	for off, m := range sh {
 		if m == MetaLiveIn {
 			continue
 		}
 		if m == MetaReadLiveIn && prev[off] == MetaOldWrite {
-			return true // read "live-in" of a byte written earlier
+			return off // read "live-in" of a byte written earlier
 		}
 		if m >= MetaTSBase && prev[off] == MetaReadLiveIn {
-			return true // write after a live-in read
+			return off // write after a live-in read
 		}
 		if m == MetaReadLiveIn {
 			if prev[off] != MetaOldWrite {
@@ -281,7 +297,7 @@ func carryValidatePage(prev, sh []byte) bool {
 			prev[off] = MetaOldWrite
 		}
 	}
-	return false
+	return -1
 }
 
 // crossValidate detects privacy violations spanning checkpoint intervals.
@@ -290,6 +306,13 @@ func carryValidatePage(prev, sh []byte) bool {
 // has quiesced. This is the serial reference; crossValidateSharded gives
 // the same answer with the scan parallelized by shadow-page range.
 func (cp *checkpoint) crossValidate() int64 {
+	id, _ := cp.crossValidateAddr()
+	return id
+}
+
+// crossValidateAddr is crossValidate extended with the private-heap address
+// of the first violating byte (0 when no violation).
+func (cp *checkpoint) crossValidateAddr() (int64, uint64) {
 	carried := map[uint64][]byte{} // shadow page base -> collapsed meta
 	for _, c := range cp.chain() {
 		for base, sh := range c.shadow {
@@ -298,21 +321,29 @@ func (cp *checkpoint) crossValidate() int64 {
 				prev = make([]byte, vm.PageSize)
 				carried[base] = prev
 			}
-			if carryValidatePage(prev, sh) {
-				return c.id
+			if off := carryValidatePage(prev, sh); off >= 0 {
+				return c.id, (base &^ ir.ShadowBit) + uint64(off)
 			}
 		}
 	}
-	return -1
+	return -1, 0
 }
 
 // crossValidateSharded is crossValidate with the page scans distributed
-// over up to shards goroutines. Every shadow page base carries its own
-// collapsed metadata independently of all other pages, so the chain can be
-// validated per page; the first violating checkpoint overall is the minimum
-// first-violating checkpoint over all pages, which makes the result
-// identical to the serial walk regardless of scheduling.
+// over up to shards goroutines.
 func (cp *checkpoint) crossValidateSharded(shards int) int64 {
+	id, _ := cp.crossValidateShardedAddr(shards)
+	return id
+}
+
+// crossValidateShardedAddr is crossValidateSharded extended with a faulting
+// address. Every shadow page base carries its own collapsed metadata
+// independently of all other pages, so the chain can be validated per page;
+// the first violating checkpoint overall is the minimum first-violating
+// checkpoint over all pages, which makes the id identical to the serial
+// walk regardless of scheduling. The reported address is the one found by
+// the winning page's fold (any page tying on the minimum id may win).
+func (cp *checkpoint) crossValidateShardedAddr(shards int) (int64, uint64) {
 	chain := cp.chain()
 	seen := map[uint64]bool{}
 	var bases []uint64
@@ -325,22 +356,24 @@ func (cp *checkpoint) crossValidateSharded(shards int) int64 {
 		}
 	}
 	if shards <= 1 || len(bases) < 2*shards {
-		return cp.crossValidate()
+		return cp.crossValidateAddr()
 	}
 	// validateBase walks the whole chain for one page base and returns the
-	// id of the first checkpoint whose fold violates, or -1.
-	validateBase := func(base uint64) int64 {
+	// id of the first checkpoint whose fold violates plus the faulting
+	// address, or (-1, 0).
+	validateBase := func(base uint64) (int64, uint64) {
 		prev := make([]byte, vm.PageSize)
 		for _, c := range chain {
 			if sh, ok := c.shadow[base]; ok {
-				if carryValidatePage(prev, sh) {
-					return c.id
+				if off := carryValidatePage(prev, sh); off >= 0 {
+					return c.id, (base &^ ir.ShadowBit) + uint64(off)
 				}
 			}
 		}
-		return -1
+		return -1, 0
 	}
 	first := int64(-1)
+	var firstAddr uint64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	chunk := (len(bases) + shards - 1) / shards
@@ -353,22 +386,23 @@ func (cp *checkpoint) crossValidateSharded(shards int) int64 {
 		go func(part []uint64) {
 			defer wg.Done()
 			local := int64(-1)
+			var localAddr uint64
 			for _, base := range part {
-				if v := validateBase(base); v >= 0 && (local < 0 || v < local) {
-					local = v
+				if v, a := validateBase(base); v >= 0 && (local < 0 || v < local) {
+					local, localAddr = v, a
 				}
 			}
 			if local >= 0 {
 				mu.Lock()
 				if first < 0 || local < first {
-					first = local
+					first, firstAddr = local, localAddr
 				}
 				mu.Unlock()
 			}
 		}(bases[lo:hi])
 	}
 	wg.Wait()
-	return first
+	return first, firstAddr
 }
 
 // installOwnDataInto applies only this checkpoint's merged private-heap

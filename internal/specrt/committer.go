@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privateer/internal/ir"
 	"privateer/internal/obs"
 	"privateer/internal/vm"
 )
@@ -216,10 +217,12 @@ func (co *committer) overlapped() bool {
 }
 
 // validateInterval folds checkpoint cp's shadow pages into the carried
-// cross-interval state and returns cp.id on a violation, -1 when clean.
-// The fold is sharded across goroutines by shadow-page range; pages fold
-// independently, so the verdict does not depend on the sharding.
-func (co *committer) validateInterval(cp *checkpoint) int64 {
+// cross-interval state and returns cp.id plus the faulting private-heap
+// address on a violation, (-1, 0) when clean. The fold is sharded across
+// goroutines by shadow-page range; pages fold independently, so the verdict
+// does not depend on the sharding (the reported address is whichever
+// violating page recorded first).
+func (co *committer) validateInterval(cp *checkpoint) (int64, uint64) {
 	carriedPage := func(base uint64) []byte {
 		co.carriedMu.Lock()
 		prev, have := co.carried[base]
@@ -233,17 +236,17 @@ func (co *committer) validateInterval(cp *checkpoint) int64 {
 	shards := co.sp.rt.validateShards()
 	if shards <= 1 || len(cp.shadow) < 2*shards {
 		for base, sh := range cp.shadow {
-			if carryValidatePage(carriedPage(base), sh) {
-				return cp.id
+			if off := carryValidatePage(carriedPage(base), sh); off >= 0 {
+				return cp.id, (base &^ ir.ShadowBit) + uint64(off)
 			}
 		}
-		return -1
+		return -1, 0
 	}
 	bases := make([]uint64, 0, len(cp.shadow))
 	for base := range cp.shadow {
 		bases = append(bases, base)
 	}
-	var violated atomic.Bool
+	var violAddr uint64 // atomic CAS-once; 0 = clean
 	var wg sync.WaitGroup
 	chunk := (len(bases) + shards - 1) / shards
 	for lo := 0; lo < len(bases); lo += chunk {
@@ -255,17 +258,18 @@ func (co *committer) validateInterval(cp *checkpoint) int64 {
 		go func(part []uint64) {
 			defer wg.Done()
 			for _, base := range part {
-				if carryValidatePage(carriedPage(base), cp.shadow[base]) {
-					violated.Store(true)
+				if off := carryValidatePage(carriedPage(base), cp.shadow[base]); off >= 0 {
+					addr := (base &^ ir.ShadowBit) + uint64(off)
+					atomic.CompareAndSwapUint64(&violAddr, 0, addr)
 				}
 			}
 		}(bases[lo:hi])
 	}
 	wg.Wait()
-	if violated.Load() {
-		return cp.id
+	if a := atomic.LoadUint64(&violAddr); a != 0 {
+		return cp.id, a
 	}
-	return -1
+	return -1, 0
 }
 
 // run is the committer goroutine: consume quiesced intervals in order,
@@ -290,7 +294,7 @@ func (co *committer) run() {
 		cp := sp.checkpointFor(c)
 		busyStart := time.Now()
 		tv := tr.Now()
-		v := co.validateInterval(cp)
+		v, vaddr := co.validateInterval(cp)
 		if tr.On() {
 			tr.Emit(obs.Event{Kind: obs.KValidateEager, TimeNS: tv, DurNS: tr.Now() - tv,
 				Invocation: sp.inv, Worker: -1, Iter: c, A: v})
@@ -299,7 +303,7 @@ func (co *committer) run() {
 			// Cancel in-flight speculative intervals: the flag is observed
 			// by every worker at its next iteration boundary. Recovery will
 			// resume from lastInstalled.limit.
-			sp.flag(cp.limit-1, -1, "privacy violated (cross-interval)", "")
+			sp.flag(cp.limit-1, -1, "privacy violated (cross-interval)", "", vaddr)
 			tr.Instant(obs.Event{Kind: obs.KCancel,
 				Invocation: sp.inv, Worker: -1, Iter: v,
 				Cause: "privacy violated (cross-interval)"})
@@ -318,6 +322,7 @@ func (co *committer) run() {
 		co.mu.Lock()
 		co.doneThrough = c + 1
 		co.mu.Unlock()
+		rt.noteIntervalDone(c + 1)
 		co.cond.Broadcast()
 		busy := int64(time.Since(busyStart))
 		if co.overlapped() {

@@ -13,6 +13,7 @@ import (
 	"privateer/internal/deps"
 	"privateer/internal/doall"
 	"privateer/internal/interp"
+	"privateer/internal/intervalmap"
 	"privateer/internal/ir"
 	"privateer/internal/obs"
 	"privateer/internal/profiling"
@@ -73,6 +74,16 @@ type Config struct {
 	// Trace receives speculation-lifecycle events (nil disables tracing;
 	// every emission site is then a single branch).
 	Trace *obs.Tracer
+	// Metrics, when non-nil, receives live runtime metrics: the runtime
+	// registers pull-style collectors on it at construction, so a scrape
+	// (obs.Server's /metrics) observes Stats, per-heap occupancy, the
+	// misspeculation-by-site table, and the opcode profile while a region
+	// is still executing. Nil disables publication at zero cost.
+	Metrics *obs.Registry
+	// OpProf, when non-nil, is shared by every interpreter the runtime
+	// constructs (master, workers, recovery), enabling the sampling
+	// per-opcode profiler (see interp.OpProfiler).
+	OpProf *interp.OpProfiler
 }
 
 // RegionInfo bundles the compiler artifacts for one parallel region.
@@ -187,6 +198,33 @@ type RT struct {
 	// would make every later worker write identity bytes into dead or
 	// reallocated memory).
 	reduxObjs map[uint64]reduxObj
+
+	// occ mirrors the master address space's per-heap allocator totals in
+	// atomic counters for live introspection (attached in Run).
+	occ *vm.HeapOccupancy
+
+	// siteMu guards siteMap, the live allocation-site map: master-side
+	// allocations (and globals) keyed by address range, so a faulting
+	// address can be attributed to the object that owns it. Worker-local
+	// allocations are scratch state and are not tracked.
+	siteMu  sync.Mutex
+	siteMap *intervalmap.Map[string]
+
+	// missMu guards missTable, the per-site misspeculation aggregate
+	// behind MisspecSites, /spec, and privateer -why-misspec.
+	missMu    sync.Mutex
+	missTable map[misspecKey]int64
+
+	// histRegionWall and histInstall are optional metric histograms
+	// (nil without Config.Metrics; Observe on nil is a no-op).
+	histRegionWall *obs.Histogram
+	histInstall    *obs.Histogram
+
+	// curInterval and doneInterval (atomic) expose the live pipeline
+	// depth: the newest interval any worker has started vs. the newest
+	// interval the background committer has fully retired.
+	curInterval  int64
+	doneInterval int64
 }
 
 // New prepares a runtime for mod with the given regions.
@@ -198,9 +236,16 @@ func New(mod *ir.Module, cfg Config, regions ...*RegionInfo) *RT {
 		Cfg: cfg, Mod: mod,
 		regions:   map[*ir.Function]*RegionInfo{},
 		reduxObjs: map[uint64]reduxObj{},
+		occ:       vm.NewHeapOccupancy(),
+		siteMap:   &intervalmap.Map[string]{},
+		missTable: map[misspecKey]int64{},
 	}
 	for _, r := range regions {
 		rt.regions[r.Outline.RegionFn] = r
+	}
+	if cfg.Metrics != nil {
+		rt.publishMetrics(cfg.Metrics)
+		latestRT.Store(rt)
 	}
 	return rt
 }
@@ -225,10 +270,14 @@ func (rt *RT) writeOut(text string) {
 func (rt *RT) Master() *interp.Interp { return rt.master }
 
 // onAlloc tracks reduction objects allocated dynamically into the redux
-// heap so worker heaps can be initialized to identity and merged.
+// heap so worker heaps can be initialized to identity and merged, and
+// records the allocation site for misspeculation attribution.
 func (rt *RT) onAlloc(fr *interp.Frame, in *ir.Instr, addr, size uint64) {
 	if ir.HeapOf(addr) == ir.HeapRedux && in != nil {
 		rt.registerRedux(addr, int64(size), profiling.Object{Site: in})
+	}
+	if in != nil {
+		rt.trackSite(addr, size, profiling.Object{Site: in}.String())
 	}
 }
 
@@ -238,6 +287,7 @@ func (rt *RT) onFree(fr *interp.Frame, in *ir.Instr, addr uint64) {
 	if ir.HeapOf(addr) == ir.HeapRedux {
 		rt.deregisterRedux(addr)
 	}
+	rt.untrackSite(addr)
 }
 
 // Run executes the program from its entry function.
@@ -248,6 +298,8 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 	}
 	rt.master = master
 	master.AS.Trace = rt.Cfg.Trace
+	master.AS.Occ = rt.occ
+	master.Prof = rt.Cfg.OpProf
 	master.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
 		rt.writeOut(text)
 		return true
@@ -265,12 +317,14 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 		return 0, err
 	}
 	defer func() { rt.Sim.SeqSteps = master.Steps }()
-	// Register global reduction objects.
+	// Register global reduction objects, and every global's address range
+	// for misspeculation attribution.
 	for _, name := range rt.Mod.GlobalNames() {
 		g := rt.Mod.Globals[name]
 		if g.Heap == ir.HeapRedux {
 			rt.registerRedux(master.GlobalAddr(g), g.Size, profiling.Object{Global: g})
 		}
+		rt.trackSite(master.GlobalAddr(g), uint64(g.Size), profiling.Object{Global: g}.String())
 	}
 	return master.Run(args...)
 }
@@ -353,7 +407,9 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 	// Wall time accounts once, on every exit path: clean completion,
 	// misspeculation-loop errors, and the sequential fallback alike.
 	defer func() {
-		atomic.AddInt64(&rt.Stats.RegionWallNS, int64(time.Since(wallStart)))
+		wall := int64(time.Since(wallStart))
+		atomic.AddInt64(&rt.Stats.RegionWallNS, wall)
+		rt.histRegionWall.Observe(wall)
 	}()
 	tr := rt.Cfg.Trace
 	if tr.On() {
@@ -457,6 +513,7 @@ func (rt *RT) installCheckpoint(cp *checkpoint, redux []reduxObj, inv int64) err
 	if err != nil {
 		return err
 	}
+	rt.histInstall.Observe(bytes)
 	cost := bytes * SimInstallPerByte
 	atomic.AddInt64(&rt.Sim.RegionTime, cost)
 	atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
@@ -519,6 +576,7 @@ func (rt *RT) installRedux(cp *checkpoint, redux []reduxObj, inv int64) error {
 	if err != nil {
 		return err
 	}
+	rt.histInstall.Observe(bytes)
 	cost := bytes * SimInstallPerByte
 	atomic.AddInt64(&rt.Sim.RegionTime, cost)
 	atomic.AddInt64(&rt.Sim.CheckpointCost, cost)
@@ -553,6 +611,7 @@ func (rt *RT) sequentialRange(ri *RegionInfo, from, to int64, live []uint64) err
 	}
 	it := interp.NewShared(rt.master.Program(), rt.master.AS)
 	it.AdoptLayout(rt.master.GlobalLayout())
+	it.Prof = rt.Cfg.OpProf
 	if rt.Cfg.StepLimit > 0 {
 		it.StepLimit = rt.Cfg.StepLimit
 	}

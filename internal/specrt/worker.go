@@ -46,8 +46,9 @@ type spanState struct {
 }
 
 // flag records a misspeculation at iteration i by worker wid, keeping the
-// earliest.
-func (sp *spanState) flag(i int64, wid int, cause, site string) {
+// earliest. addr is the faulting address when the violation concerns a
+// specific memory location (0 otherwise); it feeds per-site attribution.
+func (sp *spanState) flag(i int64, wid int, cause, site string, addr uint64) {
 	sp.flagMu.Lock()
 	if sp.misspecIter < 0 || i < sp.misspecIter {
 		sp.misspecIter = i
@@ -55,8 +56,10 @@ func (sp *spanState) flag(i int64, wid int, cause, site string) {
 	sp.flagMu.Unlock()
 	sp.flagged.Store(true)
 	atomic.AddInt64(&sp.rt.Stats.Misspecs, 1)
+	sp.rt.noteMisspec(sp.ri.Outline.RegionFn.Name, cause, site, addr)
 	sp.rt.Cfg.Trace.Instant(obs.Event{Kind: obs.KMisspec,
-		Invocation: sp.inv, Worker: wid, Iter: i, Cause: cause, Site: site})
+		Invocation: sp.inv, Worker: wid, Iter: i, Cause: cause, Site: site,
+		A: int64(addr)})
 	// Wake the committer so it re-evaluates its wait condition (flagMu is
 	// already released: flag never holds flagMu and the committer's mutex
 	// together).
@@ -102,16 +105,18 @@ func (sp *spanState) checkpointFor(c int64) *checkpoint {
 
 // validate runs the second-phase cross-interval chain validation over the
 // checkpoints up to last, with tracing. The scan is sharded by shadow-page
-// range (Config.ValidateShards); the verdict is shard-count independent.
-func (sp *spanState) validate(last *checkpoint) int64 {
+// range (Config.ValidateShards); the verdict is shard-count independent. It
+// returns the first violating interval id (-1 = clean) and the faulting
+// private-heap address (0 when clean).
+func (sp *spanState) validate(last *checkpoint) (int64, uint64) {
 	tr := sp.rt.Cfg.Trace
 	t0 := tr.Now()
-	c := last.crossValidateSharded(sp.rt.validateShards())
+	c, addr := last.crossValidateShardedAddr(sp.rt.validateShards())
 	if tr.On() {
 		tr.Emit(obs.Event{Kind: obs.KValidate, TimeNS: t0, DurNS: tr.Now() - t0,
 			Invocation: sp.inv, Worker: -1, Iter: last.id, A: c})
 	}
-	return c
+	return c, addr
 }
 
 // run executes the span. It returns the last fully valid checkpoint (nil if
@@ -119,6 +124,8 @@ func (sp *spanState) validate(last *checkpoint) int64 {
 // finish), and any hard error.
 func (sp *spanState) run() (*checkpoint, int64, error) {
 	rt := sp.rt
+	// Live pipeline depth is meaningful only while this span runs.
+	defer rt.resetIntervalDepth()
 	tr := rt.Cfg.Trace
 	workers := rt.Cfg.Workers
 	if total := sp.hi - sp.start; int64(workers) > total {
@@ -217,11 +224,13 @@ func (sp *spanState) finishSync(nIntervals int64) (*checkpoint, int64, error) {
 		last := sp.checkpointFor(nIntervals - 1)
 		// Second-phase cross-interval privacy validation over the whole
 		// chain (the span has quiesced, so every contribution is in).
-		if c := sp.validate(last); c >= 0 {
+		if c, addr := sp.validate(last); c >= 0 {
 			atomic.AddInt64(&rt.Stats.Misspecs, 1)
+			rt.noteMisspec(sp.ri.Outline.RegionFn.Name,
+				"privacy violated (cross-interval)", "", addr)
 			tr.Instant(obs.Event{Kind: obs.KMisspec, Invocation: sp.inv,
 				Worker: -1, Iter: sp.checkpointFor(c).limit - 1,
-				Cause: "privacy violated (cross-interval)"})
+				Cause: "privacy violated (cross-interval)", A: int64(addr)})
 			lv, at := sp.resolveMisspec(c, sp.checkpointFor(c).limit-1)
 			return lv, at, nil
 		}
@@ -234,11 +243,13 @@ func (sp *spanState) finishSync(nIntervals int64) (*checkpoint, int64, error) {
 	// The valid prefix may itself hide a cross-interval violation; take
 	// the earliest.
 	if mi > 0 {
-		if c := sp.validate(sp.checkpointFor(mi - 1)); c >= 0 && c < mi {
+		if c, addr := sp.validate(sp.checkpointFor(mi - 1)); c >= 0 && c < mi {
 			atomic.AddInt64(&rt.Stats.Misspecs, 1)
+			rt.noteMisspec(sp.ri.Outline.RegionFn.Name,
+				"privacy violated (cross-interval)", "", addr)
 			tr.Instant(obs.Event{Kind: obs.KMisspec, Invocation: sp.inv,
 				Worker: -1, Iter: sp.checkpointFor(c).limit - 1,
-				Cause: "privacy violated (cross-interval)"})
+				Cause: "privacy violated (cross-interval)", A: int64(addr)})
 			lv, at := sp.resolveMisspec(c, sp.checkpointFor(c).limit-1)
 			return lv, at, nil
 		}
@@ -348,6 +359,7 @@ func newWorker(sp *spanState, id, stride int) (*worker, error) {
 	// pre-decoded once per run, not once per worker per span.
 	w.it = interp.NewShared(rt.master.Program(), w.as)
 	w.it.AdoptLayout(rt.master.GlobalLayout())
+	w.it.Prof = rt.Cfg.OpProf
 	if rt.Cfg.StepLimit > 0 {
 		w.it.StepLimit = rt.Cfg.StepLimit
 	}
@@ -424,7 +436,7 @@ func (w *worker) privAccess(addr uint64, size int64, isWrite bool) error {
 			newMeta, miss = ReadTransition(byte(meta), w.curTS)
 		}
 		if miss {
-			return &interp.MisspecError{Reason: "privacy violated (fast phase)"}
+			return &interp.MisspecError{Reason: "privacy violated (fast phase)", Addr: b}
 		}
 		if newMeta != byte(meta) {
 			if err := w.as.Write(sh, 1, uint64(newMeta)); err != nil {
@@ -448,17 +460,18 @@ func (w *worker) resetShadow() {
 }
 
 // misspecCause classifies a squashing error for the trace: the violated
-// property and the instruction that detected it.
-func misspecCause(err error) (cause, site string) {
+// property, the instruction that detected it, and the faulting address when
+// the violation concerns one (0 otherwise).
+func misspecCause(err error) (cause, site string, addr uint64) {
 	var m *interp.MisspecError
 	if errors.As(err, &m) {
-		return m.Reason, m.Site()
+		return m.Reason, m.Site(), m.Addr
 	}
 	var fault *vm.Fault
 	if errors.As(err, &fault) {
-		return "memory protection fault", fmt.Sprintf("%#x", fault.Addr)
+		return "memory protection fault", fmt.Sprintf("%#x", fault.Addr), fault.Addr
 	}
-	return err.Error(), ""
+	return err.Error(), "", 0
 }
 
 // run executes the worker's share of the span: cyclically assigned
@@ -482,6 +495,7 @@ func (w *worker) run() error {
 			// the committer (see its doc comment).
 			sp.committer.throttle(c)
 		}
+		rt.noteIntervalStart(c)
 		if sp.flagged.Load() {
 			if mi := sp.misspecInterval(); mi >= 0 && c >= mi {
 				return nil // squash: past the failed checkpoint
@@ -503,8 +517,8 @@ func (w *worker) run() error {
 					// Memory-protection faults during speculation (a store
 					// into the read-only heap, say) are misspeculations:
 					// the paper's workers take the same path on SIGSEGV.
-					cause, site := misspecCause(err)
-					sp.flag(i, w.id, cause, site)
+					cause, site, faddr := misspecCause(err)
+					sp.flag(i, w.id, cause, site, faddr)
 					return nil
 				}
 				return err
@@ -513,12 +527,12 @@ func (w *worker) run() error {
 			// by the end of their iteration.
 			w.simOther += SimShortLivedCheck
 			if w.as.LiveObjects(ir.HeapShortLived) != w.shortBaseline {
-				sp.flag(i, w.id, "short-lived object escaped", "")
+				sp.flag(i, w.id, "short-lived object escaped", "", 0)
 				return nil
 			}
 			// Artificial misspeculation injection (Figure 9).
 			if rt.inject(i) {
-				sp.flag(i, w.id, "injected", "")
+				sp.flag(i, w.id, "injected", "", 0)
 				return nil
 			}
 			// Consult the global flag after each iteration.
@@ -542,7 +556,8 @@ func (w *worker) run() error {
 		tr.Instant(obs.Event{Kind: obs.KContribute,
 			Invocation: sp.inv, Worker: w.id, Iter: c, A: scanned})
 		if !ok {
-			sp.flag(base, w.id, "privacy violated (merge)", "")
+			sp.flag(base, w.id, "privacy violated (merge)", "",
+				atomic.LoadUint64(&cp.missAddr))
 			if sp.committer != nil {
 				sp.committer.noteContribution(c)
 			}

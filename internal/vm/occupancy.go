@@ -1,0 +1,76 @@
+package vm
+
+import (
+	"sync/atomic"
+
+	"privateer/internal/ir"
+)
+
+// HeapOccupancy mirrors one address space's per-heap allocator totals in
+// atomic counters, so a live introspection scrape can read occupancy while
+// the owning goroutine allocates. The allocator's own heapState stays
+// single-owner and lock-free; attaching an occupancy costs two atomic adds
+// per Alloc/Free. Attach it to the master space only — clones never
+// inherit it.
+type HeapOccupancy struct {
+	liveBytes  [ir.NumHeaps]int64 // atomic; rounded bytes currently live
+	liveObjs   [ir.NumHeaps]int64 // atomic; live allocation count
+	allocBytes [ir.NumHeaps]int64 // atomic; bytes ever requested
+}
+
+// NewHeapOccupancy returns zeroed occupancy counters.
+func NewHeapOccupancy() *HeapOccupancy { return &HeapOccupancy{} }
+
+// HeapOcc is one heap's occupancy snapshot row.
+type HeapOcc struct {
+	// Heap is the logical heap name ("private", "redux", ...).
+	Heap string `json:"heap"`
+	// LiveBytes is the rounded byte total of live objects.
+	LiveBytes int64 `json:"live_bytes"`
+	// LiveObjects is the live allocation count.
+	LiveObjects int64 `json:"live_objects"`
+	// AllocBytes is the cumulative bytes ever requested.
+	AllocBytes int64 `json:"alloc_bytes"`
+}
+
+// Snapshot returns one row per logical heap, in heap-tag order.
+func (o *HeapOccupancy) Snapshot() []HeapOcc {
+	if o == nil {
+		return nil
+	}
+	out := make([]HeapOcc, 0, int(ir.NumHeaps))
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		out = append(out, HeapOcc{
+			Heap:        h.String(),
+			LiveBytes:   atomic.LoadInt64(&o.liveBytes[h]),
+			LiveObjects: atomic.LoadInt64(&o.liveObjs[h]),
+			AllocBytes:  atomic.LoadInt64(&o.allocBytes[h]),
+		})
+	}
+	return out
+}
+
+// alloc records one allocation of size requested bytes, rounded rounded.
+func (o *HeapOccupancy) alloc(h ir.HeapKind, size, rounded uint64) {
+	atomic.AddInt64(&o.liveBytes[h], int64(rounded))
+	atomic.AddInt64(&o.liveObjs[h], 1)
+	atomic.AddInt64(&o.allocBytes[h], int64(size))
+}
+
+// free records one release of a rounded-size object.
+func (o *HeapOccupancy) free(h ir.HeapKind, rounded uint64) {
+	atomic.AddInt64(&o.liveBytes[h], -int64(rounded))
+	atomic.AddInt64(&o.liveObjs[h], -1)
+}
+
+// resync rebuilds heap h's live counters from allocator state, after bulk
+// operations (heap reset, checkpoint install) replace the heap wholesale.
+func (o *HeapOccupancy) resync(h ir.HeapKind, hs *heapState) {
+	var bytes int64
+	for _, sz := range hs.objects {
+		bytes += int64(sz)
+	}
+	atomic.StoreInt64(&o.liveBytes[h], bytes)
+	atomic.StoreInt64(&o.liveObjs[h], int64(hs.liveCount))
+	atomic.StoreInt64(&o.allocBytes[h], int64(hs.allocBytes))
+}

@@ -1,0 +1,123 @@
+package vm
+
+import (
+	"testing"
+
+	"privateer/internal/ir"
+)
+
+// row finds heap h's snapshot row.
+func row(t *testing.T, o *HeapOccupancy, h ir.HeapKind) HeapOcc {
+	t.Helper()
+	for _, r := range o.Snapshot() {
+		if r.Heap == h.String() {
+			return r
+		}
+	}
+	t.Fatalf("no snapshot row for heap %v", h)
+	return HeapOcc{}
+}
+
+// TestOccupancyAllocFree: the mirror must track live bytes/objects through
+// alloc and free, and cumulative alloc bytes must never decrease.
+func TestOccupancyAllocFree(t *testing.T) {
+	as := NewAddressSpace()
+	as.Occ = NewHeapOccupancy()
+	a, err := as.Alloc(ir.HeapPrivate, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.Alloc(ir.HeapPrivate, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := row(t, as.Occ, ir.HeapPrivate)
+	if r.LiveObjects != 2 {
+		t.Errorf("live objects %d, want 2", r.LiveObjects)
+	}
+	if r.LiveBytes < 150 {
+		t.Errorf("live bytes %d, want >= 150 (rounded sizes)", r.LiveBytes)
+	}
+	if r.AllocBytes != 150 {
+		t.Errorf("alloc bytes %d, want 150 (requested sizes)", r.AllocBytes)
+	}
+	if err := as.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	r = row(t, as.Occ, ir.HeapPrivate)
+	if r.LiveObjects != 1 {
+		t.Errorf("live objects after free %d, want 1", r.LiveObjects)
+	}
+	if r.AllocBytes != 150 {
+		t.Errorf("alloc bytes after free %d, must stay cumulative", r.AllocBytes)
+	}
+	if err := as.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	r = row(t, as.Occ, ir.HeapPrivate)
+	if r.LiveObjects != 0 || r.LiveBytes != 0 {
+		t.Errorf("after freeing everything: %+v, want zero live state", r)
+	}
+}
+
+// TestOccupancyResyncOnBulkOps: heap reset and wholesale heap copy replace
+// allocator state behind the mirror's back, so both must resync it.
+func TestOccupancyResyncOnBulkOps(t *testing.T) {
+	as := NewAddressSpace()
+	as.Occ = NewHeapOccupancy()
+	if _, err := as.Alloc(ir.HeapPrivate, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Alloc(ir.HeapPrivate, 64); err != nil {
+		t.Fatal(err)
+	}
+	as.ResetHeap(ir.HeapPrivate)
+	if r := row(t, as.Occ, ir.HeapPrivate); r.LiveObjects != 0 || r.LiveBytes != 0 {
+		t.Errorf("after ResetHeap: %+v, want zero live state", r)
+	}
+
+	src := NewAddressSpace()
+	if _, err := src.Alloc(ir.HeapPrivate, 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Alloc(ir.HeapPrivate, 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Alloc(ir.HeapPrivate, 32); err != nil {
+		t.Fatal(err)
+	}
+	as.CopyHeapFrom(src, ir.HeapPrivate)
+	if r := row(t, as.Occ, ir.HeapPrivate); r.LiveObjects != 3 {
+		t.Errorf("after CopyHeapFrom: %d live objects, want 3", r.LiveObjects)
+	}
+}
+
+// TestOccupancyCloneDoesNotInherit: worker clones must not share the
+// master's mirror — their speculative allocations would corrupt the live
+// numbers the scrape reports for the master space.
+func TestOccupancyCloneDoesNotInherit(t *testing.T) {
+	as := NewAddressSpace()
+	as.Occ = NewHeapOccupancy()
+	if _, err := as.Alloc(ir.HeapPrivate, 40); err != nil {
+		t.Fatal(err)
+	}
+	cl := as.Clone()
+	if cl.Occ != nil {
+		t.Fatal("clone inherited the occupancy mirror")
+	}
+	if _, err := cl.Alloc(ir.HeapPrivate, 4096); err != nil {
+		t.Fatal(err)
+	}
+	r := row(t, as.Occ, ir.HeapPrivate)
+	if r.LiveObjects != 1 || r.AllocBytes != 40 {
+		t.Errorf("clone allocation leaked into master mirror: %+v", r)
+	}
+}
+
+// TestOccupancyNilSnapshot: a nil mirror reads as empty.
+func TestOccupancyNilSnapshot(t *testing.T) {
+	var o *HeapOccupancy
+	if o.Snapshot() != nil {
+		t.Error("nil occupancy must snapshot to nil")
+	}
+}

@@ -165,6 +165,12 @@ type AddressSpace struct {
 	// shared with concurrently executing clones.
 	statsAtomic bool
 
+	// Occ, when non-nil, mirrors this space's per-heap allocator totals in
+	// atomic counters for live introspection (see occupancy.go). Clones do
+	// NOT inherit it: worker spaces are scratch views, and the master's
+	// occupancy is the program's authoritative heap state.
+	Occ *HeapOccupancy
+
 	// Trace receives page-layer events (COW duplication, TLB flushes,
 	// protection faults); nil disables emission. Clones inherit the tracer.
 	Trace *obs.Tracer
@@ -485,6 +491,9 @@ func (as *AddressSpace) Alloc(h ir.HeapKind, size uint64) (uint64, error) {
 	hs.objects[addr] = rounded
 	hs.liveCount++
 	hs.allocBytes += size
+	if as.Occ != nil {
+		as.Occ.alloc(h, size, rounded)
+	}
 	return addr, nil
 }
 
@@ -500,6 +509,9 @@ func (as *AddressSpace) Free(addr uint64) error {
 	delete(hs.objects, addr)
 	hs.liveCount--
 	hs.free[rounded] = append(hs.free[rounded], addr)
+	if as.Occ != nil {
+		as.Occ.free(h, rounded)
+	}
 	return nil
 }
 
@@ -531,6 +543,9 @@ func (as *AddressSpace) ResetHeap(h ir.HeapKind) {
 			delete(as.pages, k)
 		}
 	}
+	if as.Occ != nil {
+		as.Occ.resync(h, as.heaps[h])
+	}
 	as.flushTLB("reset-heap")
 }
 
@@ -558,6 +573,9 @@ func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
 		}
 	}
 	as.heaps[h] = src.heaps[h].clone()
+	if as.Occ != nil {
+		as.Occ.resync(h, as.heaps[h])
+	}
 	as.flushTLB("copy-heap")
 	src.flushTLB("copy-heap")
 }
