@@ -24,8 +24,8 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, or obsoverhead")
-		input     = flag.String("input", "", "input class override: train, ref, alt")
+			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, scale, or obsoverhead")
+		input     = flag.String("input", "", "input class override: train, ref, alt, huge")
 		quick     = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
 		programs  = flag.String("programs", "", "comma-separated subset of benchmarks")
 		workers   = flag.Int("workers", 0, "machine size override for fig7/fig9")
@@ -48,6 +48,9 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 	}
 	if input != "" {
 		cfg.Input = input
+	} else if experiment == "scale" && !quick {
+		// The scale experiment exists to exercise the ~100x inputs.
+		cfg.Input = "huge"
 	}
 	if programs != "" {
 		cfg.Programs = strings.Split(programs, ",")
@@ -119,6 +122,18 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 	}
 	if experiment == "pipeline" {
 		rep, err := bench.RunPipeline(cfg)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(rep.JSON())
+		} else {
+			fmt.Println(rep.Format())
+		}
+		return nil
+	}
+	if experiment == "scale" {
+		rep, err := bench.RunScale(cfg, quick)
 		if err != nil {
 			return err
 		}

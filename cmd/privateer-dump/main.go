@@ -8,6 +8,7 @@
 //	privateer-dump -prog dijkstra -heaps
 //	privateer-dump -prog dijkstra -ir
 //	privateer-dump -prog enc-md5 -profile
+//	privateer-dump -prog enc-md5 -input huge -pagetable
 package main
 
 import (
@@ -16,28 +17,57 @@ import (
 	"os"
 
 	"privateer/internal/core"
+	"privateer/internal/interp"
 	"privateer/internal/ir"
 	"privateer/internal/profiling"
 	"privateer/internal/progs"
+	"privateer/internal/vm"
 )
 
 func main() {
 	var (
 		progName = flag.String("prog", "dijkstra", "benchmark name")
-		input    = flag.String("input", "train", "input class: train, ref, alt")
+		input    = flag.String("input", "train", "input class: train, ref, alt, huge")
 		showIR   = flag.Bool("ir", false, "dump IR before and after transformation")
 		outFile  = flag.String("o", "", "write the untransformed textual IR to a file (runnable via privateer -irfile)")
 		heaps    = flag.Bool("heaps", false, "dump the heap assignment (Figure 4)")
 		profile  = flag.Bool("profile", false, "dump hot loops and carried dependences")
+		ptable   = flag.Bool("pagetable", false, "run the program sequentially and dump radix page-table occupancy and dirty-summary stats")
 	)
 	flag.Parse()
-	if err := run(*progName, *input, *showIR, *heaps, *profile, *outFile); err != nil {
+	if err := run(*progName, *input, *showIR, *heaps, *profile, *ptable, *outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-dump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(progName, input string, showIR, heaps, profile bool, outFile string) error {
+// dumpPageTable runs p sequentially and prints the resulting address
+// space's radix occupancy: node counts, per-heap resident pages, and the
+// dirty-summary state, plus the memory-system counters the run accumulated.
+func dumpPageTable(p *progs.Program, in progs.Input) error {
+	it := interp.New(p.Build(in), vm.NewAddressSpace())
+	if _, err := it.Run(); err != nil {
+		return fmt.Errorf("sequential run: %w", err)
+	}
+	pt := it.AS.PageTable()
+	fmt.Printf("page table of %s (%s): %d levels x %d-way radix\n",
+		p.Name, in, pt.Levels, pt.Fanout)
+	fmt.Printf("  nodes %d (%d owned), resident pages %d, dirty pages %d\n",
+		pt.Nodes, pt.OwnedNodes, pt.ResidentPages, pt.DirtyPages)
+	occupancy := float64(pt.ResidentPages) / float64(pt.Nodes*int64(pt.Fanout))
+	fmt.Printf("  leaf-slot occupancy %.1f%% (resident pages / node slots)\n", 100*occupancy)
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		if n := pt.HeapResident[h]; n > 0 {
+			fmt.Printf("  heap %-12s %6d pages (%d KiB)\n", h, n, n*vm.PageSize/1024)
+		}
+	}
+	s := it.AS.Stats
+	fmt.Printf("  counters: %d pages mapped, %d pages copied, %d nodes copied, %d summary hits\n",
+		s.PagesMapped, s.PagesCopied, s.NodesCopied, s.SummaryHits)
+	return nil
+}
+
+func run(progName, input string, showIR, heaps, profile, ptable bool, outFile string) error {
 	p := progs.ByName(progName)
 	if p == nil {
 		return fmt.Errorf("unknown program %q", progName)
@@ -50,6 +80,8 @@ func run(progName, input string, showIR, heaps, profile bool, outFile string) er
 		in = p.Ref
 	case "alt":
 		in = p.Alt
+	case "huge":
+		in = p.Huge
 	default:
 		return fmt.Errorf("unknown input class %q", input)
 	}
@@ -58,12 +90,19 @@ func run(progName, input string, showIR, heaps, profile bool, outFile string) er
 			return err
 		}
 		fmt.Printf("wrote %s (%s, %s input)\n", outFile, p.Name, in)
-		if !showIR && !heaps && !profile {
+		if !showIR && !heaps && !profile && !ptable {
 			return nil
 		}
 	}
-	if !showIR && !heaps && !profile {
+	if !showIR && !heaps && !profile && !ptable {
 		heaps = true // default view
+	}
+
+	if ptable {
+		if err := dumpPageTable(p, in); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 
 	if profile {
@@ -83,6 +122,9 @@ func run(progName, input string, showIR, heaps, profile bool, outFile string) er
 		fmt.Println()
 	}
 
+	if !showIR && !heaps {
+		return nil
+	}
 	var before string
 	if showIR {
 		before = ir.FormatModule(p.Build(in))

@@ -97,7 +97,7 @@ func main() {
 		progName = flag.String("prog", "dijkstra", "benchmark: "+names())
 		irFile   = flag.String("irfile", "", "run a textual-IR module from a file instead of a named benchmark")
 		runArgs  = flag.String("args", "", "comma-separated integer arguments for -irfile programs")
-		input    = flag.String("input", "ref", "input class: train, ref, alt")
+		input    = flag.String("input", "ref", "input class: train, ref, alt, huge")
 		workers  = flag.Int("workers", 8, "worker process count")
 		mode     = flag.String("mode", "privateer", "privateer, doall, or seq")
 		misspec  = flag.Float64("misspec", 0, "injected misspeculation rate per iteration")
@@ -224,6 +224,8 @@ func inputFor(p *progs.Program, name string) (progs.Input, error) {
 		return p.Ref, nil
 	case "alt":
 		return p.Alt, nil
+	case "huge":
+		return p.Huge, nil
 	default:
 		return progs.Input{}, fmt.Errorf("unknown input class %q", name)
 	}

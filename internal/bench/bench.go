@@ -131,6 +131,8 @@ func inputFor(p *progs.Program, name string) progs.Input {
 		return p.Train
 	case "alt":
 		return p.Alt
+	case "huge":
+		return p.Huge
 	default:
 		return p.Ref
 	}

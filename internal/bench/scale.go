@@ -1,0 +1,428 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"privateer/internal/core"
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/progs"
+	"privateer/internal/specrt"
+	"privateer/internal/vm"
+)
+
+// The scale experiment measures what the radix page table buys over the
+// flat-table organization it replaced: O(1) range-COW clones instead of
+// full-table copies, and dirty-summary-guided scans instead of full
+// resident-set walks. The flat baseline is reproduced by vm's EagerClone
+// mode (specrt.Config.EagerClone), which is semantically identical to the
+// lazy radix path — every run here doubles as an equivalence check, and the
+// five paper programs must be bit-identical between the two modes.
+//
+// Two row families:
+//
+//   - vm micro rows: synthetic address spaces at growing resident-page
+//     counts; Clone() wall clock in both modes, then a dirty-page walk over
+//     a child that touched a handful of pages (the checkpoint-merge shape:
+//     summaries skip untouched subtrees, the flat walk cannot).
+//   - program rows: each benchmark's huge input (~100x ref footprint). The
+//     sequential master space gives resident pages/radix occupancy and
+//     single-clone cost; full speculative runs in both modes give the
+//     accumulated spawn, checkpoint-merge and join wall clock, plus the
+//     summary-hit and node-copy counters from the shared vm stats block.
+
+// ScaleCloneRow is one synthetic address-space size: clone cost and
+// dirty-walk cost, flat-eager versus radix-lazy. Timings are minima over
+// scaleReps runs.
+type ScaleCloneRow struct {
+	// Pages is the resident private-heap page count of the parent space.
+	Pages int64 `json:"pages"`
+	// LiveObjects is the parent's live allocation count (the allocator
+	// state an eager clone deep-copies and a lazy clone shares).
+	LiveObjects int64 `json:"live_objects"`
+	// EagerCloneNS / LazyCloneNS are the Clone() wall clocks.
+	EagerCloneNS int64 `json:"eager_clone_ns"`
+	LazyCloneNS  int64 `json:"lazy_clone_ns"`
+	// CloneSpeedup is EagerCloneNS / LazyCloneNS.
+	CloneSpeedup float64 `json:"clone_speedup"`
+	// DirtyPages is how many pages the child touched before the walk.
+	DirtyPages int64 `json:"dirty_pages"`
+	// EagerWalkNS / LazyWalkNS are the DirtyPages() wall clocks: a full
+	// resident-set scan versus a summary-guided descent.
+	EagerWalkNS int64 `json:"eager_walk_ns"`
+	LazyWalkNS  int64 `json:"lazy_walk_ns"`
+	// WalkSpeedup is EagerWalkNS / LazyWalkNS.
+	WalkSpeedup float64 `json:"walk_speedup"`
+	// SummaryHits counts subtrees the lazy walk skipped as clean or stale.
+	SummaryHits int64 `json:"summary_hits"`
+}
+
+// ScaleProgRow is one benchmark program at the scaled input, run
+// speculatively in both memory-system modes.
+type ScaleProgRow struct {
+	// Name and Input identify the workload ("huge" is the ~100x class).
+	Name  string `json:"name"`
+	Input string `json:"input"`
+	// Workers is the speculative worker count used.
+	Workers int `json:"workers"`
+	// SeqSteps is the sequential instruction count (work scale).
+	SeqSteps int64 `json:"seq_steps"`
+	// ResidentPages and RadixNodes describe the master table after the
+	// sequential run (the footprint scale; peak resident for these
+	// programs, which never free pages).
+	ResidentPages int64 `json:"resident_pages"`
+	RadixNodes    int64 `json:"radix_nodes"`
+	// EagerCloneNS / LazyCloneNS time one Clone() of that master space —
+	// the per-worker spawn cost a parallel region pays.
+	EagerCloneNS int64 `json:"eager_clone_ns"`
+	LazyCloneNS  int64 `json:"lazy_clone_ns"`
+	// CloneSpeedup is EagerCloneNS / LazyCloneNS.
+	CloneSpeedup float64 `json:"clone_speedup"`
+	// EagerSpawnNS / LazySpawnNS are Stats.SpawnNS accumulated over the
+	// whole speculative run (every worker clone in every span).
+	EagerSpawnNS int64 `json:"eager_spawn_ns"`
+	LazySpawnNS  int64 `json:"lazy_spawn_ns"`
+	// EagerCheckpointNS / LazyCheckpointNS are Stats.CheckpointNS: worker
+	// time merging shadow state into checkpoints.
+	EagerCheckpointNS int64 `json:"eager_checkpoint_ns"`
+	LazyCheckpointNS  int64 `json:"lazy_checkpoint_ns"`
+	// EagerJoinNS / LazyJoinNS are Stats.JoinNS: the master-side
+	// validate/install/commit critical path.
+	EagerJoinNS int64 `json:"eager_join_ns"`
+	LazyJoinNS  int64 `json:"lazy_join_ns"`
+	// SummaryHits and NodesCopied are the lazy run's vm counters: subtrees
+	// skipped by dirty-summary walks and radix nodes path-copied by
+	// range-COW splits.
+	SummaryHits int64 `json:"summary_hits"`
+	NodesCopied int64 `json:"nodes_copied"`
+	// BaselineMatch reports whether the lazy run reproduced the flat-eager
+	// baseline's return value and output byte for byte (must always hold).
+	BaselineMatch bool `json:"baseline_match"`
+	// SeqMatch reports whether both modes reproduced the sequential
+	// reference exactly (false only for FP-reduction programs, where the
+	// documented worker-id fold order differs in the last float bits).
+	SeqMatch bool `json:"seq_match"`
+}
+
+// ScaleReport bundles the scale experiment's measurements.
+type ScaleReport struct {
+	// Input is the program input class measured ("huge" unless -quick).
+	Input string `json:"input"`
+	// Clone holds the vm micro rows, smallest space first.
+	Clone []ScaleCloneRow `json:"clone"`
+	// Programs holds one row per benchmark.
+	Programs []ScaleProgRow `json:"programs"`
+}
+
+// JSON renders the report machine-readably.
+func (r *ScaleReport) JSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Format renders the report as aligned tables with a headline speedup line.
+func (r *ScaleReport) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Sparse memory system at scale: flat eager baseline vs radix lazy (wall clock)\n\n")
+
+	rows := make([][]string, 0, len(r.Clone))
+	for _, m := range r.Clone {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", m.Pages),
+			fmt.Sprintf("%d", m.LiveObjects),
+			fmt.Sprintf("%.1f", float64(m.EagerCloneNS)/1e3),
+			fmt.Sprintf("%.1f", float64(m.LazyCloneNS)/1e3),
+			fmt.Sprintf("%.1fx", m.CloneSpeedup),
+			fmt.Sprintf("%d", m.DirtyPages),
+			fmt.Sprintf("%.1f", float64(m.EagerWalkNS)/1e3),
+			fmt.Sprintf("%.1f", float64(m.LazyWalkNS)/1e3),
+			fmt.Sprintf("%.1fx", m.WalkSpeedup),
+			fmt.Sprintf("%d", m.SummaryHits),
+		})
+	}
+	sb.WriteString("vm micro: Clone() and DirtyPages() on synthetic spaces\n")
+	sb.WriteString(table([]string{
+		"pages", "objects", "eager clone us", "lazy clone us", "speedup",
+		"dirty", "eager walk us", "lazy walk us", "speedup", "summary hits"}, rows))
+	sb.WriteString("\n")
+
+	rows = rows[:0]
+	for _, m := range r.Programs {
+		base := "yes"
+		if !m.BaselineMatch {
+			base = "NO"
+		}
+		seq := "yes"
+		if !m.SeqMatch {
+			seq = "fp-bits"
+		}
+		rows = append(rows, []string{
+			m.Name,
+			m.Input,
+			fmt.Sprintf("%d", m.ResidentPages),
+			fmt.Sprintf("%d", m.RadixNodes),
+			fmt.Sprintf("%.1f", float64(m.EagerCloneNS)/1e3),
+			fmt.Sprintf("%.1f", float64(m.LazyCloneNS)/1e3),
+			fmt.Sprintf("%.1fx", m.CloneSpeedup),
+			fmt.Sprintf("%.1f", float64(m.EagerSpawnNS)/1e6),
+			fmt.Sprintf("%.1f", float64(m.LazySpawnNS)/1e6),
+			fmt.Sprintf("%.1f", float64(m.EagerCheckpointNS)/1e6),
+			fmt.Sprintf("%.1f", float64(m.LazyCheckpointNS)/1e6),
+			fmt.Sprintf("%d", m.SummaryHits),
+			base,
+			seq,
+		})
+	}
+	sb.WriteString(fmt.Sprintf("programs (%s inputs, %d workers): spawn/merge accumulated over the run\n",
+		r.Input, scaleWorkers))
+	sb.WriteString(table([]string{
+		"program", "input", "pages", "nodes", "eager clone us", "lazy clone us",
+		"speedup", "eager spawn ms", "lazy spawn ms", "eager merge ms",
+		"lazy merge ms", "summary hits", "=base", "=seq"}, rows))
+
+	if best := r.bestCloneSpeedup(); best > 0 {
+		sb.WriteString(fmt.Sprintf("\nheadline: clone cost improved up to %.0fx; "+
+			"dirty walks skip clean subtrees (up to %.0fx)\n",
+			best, r.bestWalkSpeedup()))
+	}
+	return sb.String()
+}
+
+func (r *ScaleReport) bestCloneSpeedup() float64 {
+	best := 0.0
+	for _, m := range r.Clone {
+		if m.CloneSpeedup > best {
+			best = m.CloneSpeedup
+		}
+	}
+	for _, m := range r.Programs {
+		if m.CloneSpeedup > best {
+			best = m.CloneSpeedup
+		}
+	}
+	return best
+}
+
+func (r *ScaleReport) bestWalkSpeedup() float64 {
+	best := 0.0
+	for _, m := range r.Clone {
+		if m.WalkSpeedup > best {
+			best = m.WalkSpeedup
+		}
+	}
+	return best
+}
+
+// Scale experiment shape: timing minima over scaleReps repetitions; child
+// spaces touch scaleDirty pages before the dirty walk; speculative runs use
+// scaleWorkers workers (the host-sized default — oversubscription would put
+// scheduler noise into the wall-clock columns).
+const (
+	scaleReps    = 7
+	scaleDirty   = 64
+	scaleWorkers = 8
+)
+
+// scaleMicroSizes picks the synthetic resident-set sizes: up to 32k pages
+// (128 MiB of page data) in the full configuration.
+func scaleMicroSizes(quick bool) []int64 {
+	if quick {
+		return []int64{256, 2048}
+	}
+	return []int64{1024, 8192, 32768}
+}
+
+// scaleSpace builds a parent address space with the given resident
+// private-heap page count and live short-lived allocation count.
+func scaleSpace(pages, objects int64) (*vm.AddressSpace, error) {
+	as := vm.NewAddressSpace()
+	for i := int64(0); i < pages; i++ {
+		addr := ir.HeapPrivate.Base() + uint64(i)*vm.PageSize
+		if err := as.Write(addr, 8, uint64(i)*2654435761); err != nil {
+			return nil, err
+		}
+	}
+	for i := int64(0); i < objects; i++ {
+		if _, err := as.Alloc(ir.HeapShortLived, 64); err != nil {
+			return nil, err
+		}
+	}
+	return as, nil
+}
+
+// minCloneNS times Clone() in the given mode, minimum over reps.
+func minCloneNS(as *vm.AddressSpace, eager bool, reps int) int64 {
+	prev := as.EagerClone
+	as.EagerClone = eager
+	best := int64(-1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		c := as.Clone()
+		d := time.Since(t0).Nanoseconds()
+		_ = c
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	as.EagerClone = prev
+	return best
+}
+
+// minDirtyWalkNS clones the parent in the given mode, dirties a contiguous
+// run of `touch` pages (the checkpoint-merge shape: a worker's span touches
+// a localized slice of a huge resident set), and times DirtyPages(),
+// minimum over reps. Returns the walk time, the visited-page count of the
+// last walk, and the summary hits the last lazy walk recorded.
+func minDirtyWalkNS(parent *vm.AddressSpace, eager bool, pages, touch int64,
+	reps int) (ns, visited, hits int64, err error) {
+	prev := parent.EagerClone
+	defer func() { parent.EagerClone = prev }()
+	parent.EagerClone = eager
+	best := int64(-1)
+	for r := 0; r < reps; r++ {
+		c := parent.Clone()
+		for i := int64(0); i < touch; i++ {
+			addr := ir.HeapPrivate.Base() + uint64(i)*vm.PageSize
+			if werr := c.Write(addr, 8, uint64(i)); werr != nil {
+				return 0, 0, 0, werr
+			}
+		}
+		h0 := c.Stats.SummaryHits
+		n := int64(0)
+		t0 := time.Now()
+		c.DirtyPages(func(base uint64, data []byte) { n++ })
+		d := time.Since(t0).Nanoseconds()
+		visited = n
+		hits = c.Stats.SummaryHits - h0
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, visited, hits, nil
+}
+
+// scaleCloneRow measures one synthetic space size.
+func scaleCloneRow(pages int64) (ScaleCloneRow, error) {
+	objects := pages / 4
+	row := ScaleCloneRow{Pages: pages, LiveObjects: objects, DirtyPages: scaleDirty}
+	parent, err := scaleSpace(pages, objects)
+	if err != nil {
+		return row, err
+	}
+	row.EagerCloneNS = minCloneNS(parent, true, scaleReps)
+	row.LazyCloneNS = minCloneNS(parent, false, scaleReps)
+	row.CloneSpeedup = nsRatio(row.EagerCloneNS, row.LazyCloneNS)
+
+	touch := row.DirtyPages
+	if touch > pages {
+		touch = pages
+		row.DirtyPages = pages
+	}
+	eagerNS, eagerSeen, _, err := minDirtyWalkNS(parent, true, pages, touch, scaleReps)
+	if err != nil {
+		return row, err
+	}
+	lazyNS, lazySeen, hits, err := minDirtyWalkNS(parent, false, pages, touch, scaleReps)
+	if err != nil {
+		return row, err
+	}
+	if eagerSeen != lazySeen {
+		return row, fmt.Errorf("dirty-walk mismatch at %d pages: eager visited %d, lazy %d",
+			pages, eagerSeen, lazySeen)
+	}
+	row.EagerWalkNS, row.LazyWalkNS, row.SummaryHits = eagerNS, lazyNS, hits
+	row.WalkSpeedup = nsRatio(eagerNS, lazyNS)
+	return row, nil
+}
+
+func nsRatio(eager, lazy int64) float64 {
+	if lazy <= 0 {
+		return 0
+	}
+	return float64(eager) / float64(lazy)
+}
+
+// scaleProgRow runs one benchmark sequentially (for the reference output and
+// the master-space clone probe) and then speculatively in both memory-system
+// modes.
+func scaleProgRow(p *progs.Program, inputName string) (ScaleProgRow, error) {
+	in := inputFor(p, inputName)
+	row := ScaleProgRow{Name: p.Name, Input: in.Name, Workers: scaleWorkers}
+
+	seqIt := interp.New(p.Build(in), vm.NewAddressSpace())
+	seqRet, err := seqIt.Run()
+	if err != nil {
+		return row, fmt.Errorf("%s sequential: %w", p.Name, err)
+	}
+	seqOut := seqIt.Out.String()
+	row.SeqSteps = seqIt.Steps
+	pt := seqIt.AS.PageTable()
+	row.ResidentPages = pt.ResidentPages
+	row.RadixNodes = pt.Nodes
+	row.EagerCloneNS = minCloneNS(seqIt.AS, true, scaleReps)
+	row.LazyCloneNS = minCloneNS(seqIt.AS, false, scaleReps)
+	row.CloneSpeedup = nsRatio(row.EagerCloneNS, row.LazyCloneNS)
+
+	par, err := core.Parallelize(p.Build(in), core.Options{})
+	if err != nil {
+		return row, fmt.Errorf("%s parallelize: %w", p.Name, err)
+	}
+	var outs [2]string
+	var rets [2]uint64
+	for i, eager := range []bool{true, false} {
+		rt, ret, err := core.Run(par, specrt.Config{
+			Workers: scaleWorkers, EagerClone: eager,
+		})
+		if err != nil {
+			return row, fmt.Errorf("%s eager=%v: %w", p.Name, eager, err)
+		}
+		outs[i], rets[i] = rt.Output(), ret
+		st := rt.Stats.Snapshot()
+		if eager {
+			row.EagerSpawnNS = st.SpawnNS
+			row.EagerCheckpointNS = st.CheckpointNS
+			row.EagerJoinNS = st.JoinNS
+		} else {
+			row.LazySpawnNS = st.SpawnNS
+			row.LazyCheckpointNS = st.CheckpointNS
+			row.LazyJoinNS = st.JoinNS
+			vs := rt.Master().AS.Stats
+			row.SummaryHits = vs.SummaryHits
+			row.NodesCopied = vs.NodesCopied
+		}
+	}
+	row.BaselineMatch = outs[0] == outs[1] && rets[0] == rets[1]
+	row.SeqMatch = row.BaselineMatch && rets[1] == seqRet && outs[1] == seqOut
+	return row, nil
+}
+
+// RunScale measures the scale experiment: vm micro rows plus one row per
+// configured benchmark. quick shrinks the synthetic sizes (the input class
+// comes from cfg — the driver defaults it to "huge" for this experiment).
+func RunScale(cfg Config, quick bool) (*ScaleReport, error) {
+	rep := &ScaleReport{Input: cfg.Input}
+	for _, pages := range scaleMicroSizes(quick) {
+		row, err := scaleCloneRow(pages)
+		if err != nil {
+			return nil, err
+		}
+		rep.Clone = append(rep.Clone, row)
+	}
+	for _, p := range progs.All() {
+		if len(cfg.Programs) > 0 && !containsString(cfg.Programs, p.Name) {
+			continue
+		}
+		row, err := scaleProgRow(p, cfg.Input)
+		if err != nil {
+			return nil, err
+		}
+		rep.Programs = append(rep.Programs, row)
+	}
+	return rep, nil
+}

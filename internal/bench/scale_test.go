@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestScaleExperiment runs the scale experiment in its quick shape on two
+// programs and checks the claims the report makes: lazy clones beat eager
+// ones, dirty walks visit the same pages in both modes (enforced inside
+// scaleCloneRow), summaries record skips, and both speculative modes
+// reproduce each other bit for bit.
+func TestScaleExperiment(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Programs = []string{"dijkstra", "enc-md5"}
+	rep, err := RunScale(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clone) == 0 || len(rep.Programs) != 2 {
+		t.Fatalf("unexpected report shape: %d clone rows, %d program rows",
+			len(rep.Clone), len(rep.Programs))
+	}
+	for _, row := range rep.Clone {
+		if row.LazyCloneNS <= 0 || row.EagerCloneNS <= 0 {
+			t.Errorf("pages=%d: unmeasured clone (eager=%d lazy=%d)",
+				row.Pages, row.EagerCloneNS, row.LazyCloneNS)
+		}
+		if row.CloneSpeedup <= 1 {
+			t.Errorf("pages=%d: lazy clone not faster (%.2fx)", row.Pages, row.CloneSpeedup)
+		}
+	}
+	// The largest quick size must show summary skips: 2048 resident pages
+	// with a 64-page contiguous dirty run spans 1 of 16 populated leaves.
+	last := rep.Clone[len(rep.Clone)-1]
+	if last.SummaryHits == 0 {
+		t.Errorf("pages=%d: dirty walk recorded no summary hits", last.Pages)
+	}
+	for _, row := range rep.Programs {
+		if !row.BaselineMatch {
+			t.Errorf("%s: lazy run diverged from flat-eager baseline", row.Name)
+		}
+		if !row.SeqMatch {
+			t.Errorf("%s: speculative runs diverged from sequential", row.Name)
+		}
+		if row.ResidentPages <= 0 || row.RadixNodes <= 0 {
+			t.Errorf("%s: empty page-table stats: %+v", row.Name, row)
+		}
+	}
+	// The report must round-trip through its JSON form.
+	var back ScaleReport
+	if err := json.Unmarshal([]byte(rep.JSON()), &back); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if len(back.Programs) != len(rep.Programs) {
+		t.Fatalf("JSON round trip lost rows")
+	}
+	if rep.Format() == "" {
+		t.Fatal("empty Format()")
+	}
+}

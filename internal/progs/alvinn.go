@@ -63,6 +63,9 @@ func Alvinn() *Program {
 		Train:       Input{Name: "train", N: 24, M: 2},
 		Ref:         Input{Name: "ref", N: 192, M: 8},
 		Alt:         Input{Name: "alt", N: 32, M: 3},
+		// 100x the pattern set (footprint scales with N); a single epoch
+		// keeps total work a single-digit multiple of ref.
+		Huge: Input{Name: "huge", N: 19200, M: 1},
 	}
 }
 

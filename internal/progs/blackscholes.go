@@ -48,6 +48,9 @@ func Blackscholes() *Program {
 		Train:       Input{Name: "train", N: 48, M: 3},
 		Ref:         Input{Name: "ref", N: 768, M: 48},
 		Alt:         Input{Name: "alt", N: 80, M: 5},
+		// 100x the option portfolio (footprint scales with N), fewer
+		// repeated runs to keep total work a single-digit multiple of ref.
+		Huge: Input{Name: "huge", N: 76800, M: 4},
 	}
 }
 

@@ -46,6 +46,10 @@ func Dijkstra() *Program {
 		Train:     Input{Name: "train", N: 12},
 		Ref:       Input{Name: "ref", N: 72},
 		Alt:       Input{Name: "alt", N: 18},
+		// The adjacency matrix grows with N^2 but drain work with ~N^3, so
+		// dijkstra's knob stops at ~9x ref footprint to keep interpreted
+		// runtime in whole seconds (the only program below ~100x).
+		Huge: Input{Name: "huge", N: 216},
 	}
 }
 

@@ -74,6 +74,9 @@ func EncMD5() *Program {
 		Train:     Input{Name: "train", N: 6, M: 256},
 		Ref:       Input{Name: "ref", N: 96, M: 768},
 		Alt:       Input{Name: "alt", N: 10, M: 512},
+		// ~100x the hashed data volume: 10x the datasets at 10x the base
+		// length (footprint and work both scale with N*M).
+		Huge: Input{Name: "huge", N: 960, M: 7680},
 	}
 }
 

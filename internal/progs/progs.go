@@ -53,6 +53,11 @@ type Program struct {
 	FloatResult bool
 	// Train, Ref and Alt are the paper's three input classes.
 	Train, Ref, Alt Input
+	// Huge is the scaled input class behind the memory-system size knob:
+	// roughly two orders of magnitude more resident footprint than Ref
+	// (bounded per program by interpreted runtime — see each program's
+	// definition), used by the scale experiment and the soak lane.
+	Huge Input
 }
 
 // All returns the five benchmarks in the paper's Table 3 order.

@@ -46,6 +46,9 @@ func Swaptions() *Program {
 		Train:       Input{Name: "train", N: 6, M: 6, K: 12},
 		Ref:         Input{Name: "ref", N: 96, M: 16, K: 16},
 		Alt:         Input{Name: "alt", N: 9, M: 8, K: 10},
+		// 100x the swaption book (footprint scales with N); half the trials
+		// per swaption bound the Monte-Carlo work.
+		Huge: Input{Name: "huge", N: 9600, M: 8, K: 16},
 	}
 }
 

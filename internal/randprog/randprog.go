@@ -34,6 +34,17 @@ type Config struct {
 	// Violate plants one read-before-write of scratch state in iterations
 	// >= Iterations/2 (so a profile over the first half misses it).
 	Violate bool
+	// Spread, when non-zero, rotates every scratch slot index by i*Spread
+	// (mod Scratch) so each iteration touches a different window of the
+	// array. The per-iteration write-before-read discipline is unchanged —
+	// the rotation is injective — but the loop's footprint becomes sparse
+	// across the whole scratch array instead of a fixed handful of slots
+	// (the soak lane's huge-page-table shape).
+	Spread int64
+	// DigestStride, when > 1, makes the final digest loop sample every
+	// DigestStride-th scratch slot instead of all of them, keeping the
+	// sequential epilogue from dominating the profile when Scratch is huge.
+	DigestStride int64
 }
 
 // DefaultConfig returns a medium-sized configuration for seed.
@@ -82,6 +93,10 @@ func Generate(cfg Config) *ir.Module {
 	b.For("i", b.I(0), n, func(iv *ir.Instr) {
 		written := []int64{}
 		slotAddr := func(k int64) ir.Value {
+			if cfg.Spread > 0 {
+				idx := b.SRem(b.Add(b.I(k), b.Mul(b.Ld(iv), b.I(cfg.Spread))), b.I(cfg.Scratch))
+				return b.Add(b.Global(scratch), b.Mul(idx, b.I(8)))
+			}
 			return b.Add(b.Global(scratch), b.I(k*8))
 		}
 		// A value expression over the induction variable, constants, the
@@ -173,10 +188,15 @@ func Generate(cfg Config) *ir.Module {
 		}
 	})
 	// Deterministic digest of final state.
+	stride := cfg.DigestStride
+	if stride < 1 {
+		stride = 1
+	}
 	acc := b.Local("acc")
 	b.St(b.I(0), acc)
-	b.For("d", b.I(0), b.I(cfg.Scratch), func(dv *ir.Instr) {
-		v := b.Load(b.Add(b.Global(scratch), b.Mul(b.Ld(dv), b.I(8))), 8)
+	b.For("d", b.I(0), b.I(cfg.Scratch/stride), func(dv *ir.Instr) {
+		slot := b.Mul(b.Ld(dv), b.I(stride))
+		v := b.Load(b.Add(b.Global(scratch), b.Mul(slot, b.I(8))), 8)
 		b.St(b.Add(b.Mul(b.Ld(acc), b.I(31)), v), acc)
 	})
 	b.St(b.Add(b.Ld(acc), b.Load(b.Global(sum), 8)), acc)

@@ -1,0 +1,114 @@
+package randprog
+
+import (
+	"os"
+	"testing"
+
+	"privateer/internal/core"
+	"privateer/internal/specrt"
+)
+
+// The soak lane runs the full speculate/validate/recover cycle over random
+// programs whose scratch state spans hundreds of sparse pages — the radix
+// page table's range-COW and dirty-summary paths under concurrency (the
+// suite is expected to run with -race). A few seeds run unconditionally so
+// CI exercises the lane; PRIVATEER_SOAK=1 widens the seed range and the
+// scratch footprint for long-form soaking.
+
+// soakConfig scales the generator to a sparse multi-hundred-page scratch
+// array: Spread rotates each iteration's slot window across the whole
+// array, so worker spaces split scattered radix subtrees instead of a dense
+// prefix, and DigestStride keeps the sequential epilogue cold enough that
+// the main loop still wins selection.
+func soakConfig(seed int64, long bool) Config {
+	cfg := Config{
+		Seed:         seed,
+		Iterations:   192,
+		Scratch:      1 << 15, // 32k elements = 256KiB = 64 pages
+		ReadOnly:     1 << 10,
+		Stmts:        12,
+		Spread:       61,
+		DigestStride: 64,
+	}
+	if long {
+		cfg.Iterations = 256
+		cfg.Scratch = 1 << 17 // 1MiB = 256 pages
+		cfg.DigestStride = 256
+	}
+	return cfg
+}
+
+// soakSeeds picks the lane width: a CI-sized handful by default, a wide
+// sweep under PRIVATEER_SOAK=1.
+func soakSeeds(long bool) (int64, int64) {
+	if long {
+		return 1, 40
+	}
+	return 1, 6
+}
+
+// TestSoakSpeculation: clean speculation over sparse huge scratch state must
+// match the sequential reference at several worker counts.
+func TestSoakSpeculation(t *testing.T) {
+	long := os.Getenv("PRIVATEER_SOAK") == "1"
+	lo, hi := soakSeeds(long)
+	for seed := lo; seed <= hi; seed++ {
+		cfg := soakConfig(seed, long)
+		t.Run("seed"+itoa(seed), func(t *testing.T) {
+			runDifferential(t, cfg, []int{3, 8}, 0)
+		})
+	}
+}
+
+// TestSoakRecovery: injected misspeculation forces the validate/recover
+// path — checkpoint rollback plus sequential re-execution — over the same
+// sparse footprint; results must still be sequential-equal.
+func TestSoakRecovery(t *testing.T) {
+	long := os.Getenv("PRIVATEER_SOAK") == "1"
+	lo, hi := soakSeeds(long)
+	for seed := lo; seed <= hi; seed++ {
+		cfg := soakConfig(seed, long)
+		t.Run("seed"+itoa(seed), func(t *testing.T) {
+			runDifferential(t, cfg, []int{5}, 0.15)
+		})
+	}
+}
+
+// TestSoakViolation: planted privacy violations over the sparse footprint
+// must be rejected at compile time or caught at run time, never silently
+// corrupt results.
+func TestSoakViolation(t *testing.T) {
+	long := os.Getenv("PRIVATEER_SOAK") == "1"
+	lo, hi := soakSeeds(long)
+	ran := 0
+	for seed := lo; seed <= hi; seed++ {
+		cfg := soakConfig(seed, long)
+		cfg.Violate = true
+		full := uint64(cfg.Iterations)
+		seqVal, seqOut, err := core.RunSequential(Generate(cfg), full)
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		par, err := core.Parallelize(Generate(cfg), core.Options{
+			TrainArgs: []uint64{TrainTrips(cfg)},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: parallelize: %v", seed, err)
+		}
+		if len(par.Regions) == 0 {
+			continue // rejected at compile time: also sound
+		}
+		ran++
+		rt, gotVal, err := core.Run(par, specrt.Config{Workers: 5, CheckpointPeriod: 3}, full)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if gotVal != seqVal || rt.Output() != seqOut {
+			t.Errorf("seed %d: UNSOUND: result %d vs %d, misspecs=%d",
+				seed, int64(gotVal), int64(seqVal), rt.Stats.Misspecs)
+		}
+	}
+	if ran == 0 {
+		t.Skip("every violating program was rejected at compile time")
+	}
+}

@@ -161,7 +161,12 @@ func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []r
 	defer cp.mu.Unlock()
 	ok := true
 	var pages []shadowPage
-	ws.HeapPages(ir.HeapShadow, func(shBase uint64, shData []byte) {
+	// Summary-guided scan: every shadow page in a worker space was created
+	// by the worker itself (the master never writes shadow state, and clones
+	// inherit none), so the dirty walk visits exactly the pages a full heap
+	// scan would — while skipping the untouched subtrees of the master's
+	// footprint outright.
+	ws.DirtyHeapPages(ir.HeapShadow, func(shBase uint64, shData []byte) {
 		pages = append(pages, shadowPage{base: shBase, data: shData})
 	})
 	scanned := int64(len(pages)) * vm.PageSize

@@ -15,10 +15,11 @@ package specrt
 // the workers are still executing interval k+1.
 //
 // Safety of the overlapped install: workers execute against copy-on-write
-// clones taken from the master at span start; a page table referenced by
-// two or more address spaces is never mutated (vm's lazy-clone invariant),
-// so the committer's writes to the master materialize a private page table
-// and can never be observed by a running worker. The master thread itself
+// clones taken from the master at span start; a radix page-table node
+// reachable from two or more address spaces is never mutated (vm's
+// range-COW invariant), so the committer's writes to the master path-copy
+// shared subtrees into privately owned nodes and can never be observed by a
+// running worker. The master thread itself
 // is blocked inside invoke() for the whole span, so the committer is the
 // only goroutine touching master state and the deferred-output stream
 // (rt.out, guarded by rt.outMu — see the locking discipline note in

@@ -361,6 +361,29 @@ func (rt *RT) publishMetrics(reg *obs.Registry) {
 		allocBytes[h] = reg.Gauge("privateer_heap_alloc_bytes_total",
 			"Cumulative bytes ever allocated per logical heap of the master space.", "heap", name)
 	}
+	type vmStatCol struct {
+		c   obs.Counter
+		get func(*vm.Stats) *int64
+	}
+	mkvm := func(name, help string, get func(*vm.Stats) *int64) vmStatCol {
+		return vmStatCol{reg.Counter("privateer_vm_"+name, help), get}
+	}
+	vmCols := []vmStatCol{
+		mkvm("pages_mapped_total", "Demand-zero page instantiations (master space and its worker fleet).",
+			func(s *vm.Stats) *int64 { return &s.PagesMapped }),
+		mkvm("pages_copied_total", "Copy-on-write page duplications (master space and its worker fleet).",
+			func(s *vm.Stats) *int64 { return &s.PagesCopied }),
+		mkvm("nodes_copied_total", "Radix page-table nodes path-copied by range-COW splits.",
+			func(s *vm.Stats) *int64 { return &s.NodesCopied }),
+		mkvm("summary_hits_total", "Subtrees skipped outright by dirty-summary-guided page walks.",
+			func(s *vm.Stats) *int64 { return &s.SummaryHits }),
+	}
+	ptResident := reg.Gauge("privateer_vm_resident_pages",
+		"Instantiated pages in the master radix page table (refreshed at invocation boundaries).")
+	ptNodes := reg.Gauge("privateer_vm_radix_nodes",
+		"Reachable radix page-table nodes of the master space (refreshed at invocation boundaries).")
+	ptDirty := reg.Gauge("privateer_vm_dirty_pages",
+		"Master pages dirtied since its last clone (refreshed at invocation boundaries).")
 	depth := reg.Gauge("privateer_pipeline_depth",
 		"Checkpoint intervals in flight between workers and the committer.")
 	reg.GaugeFunc("privateer_misspec_rate",
@@ -389,6 +412,16 @@ func (rt *RT) publishMetrics(reg *obs.Registry) {
 			liveBytes[i].Set(row.LiveBytes)
 			liveObjs[i].Set(row.LiveObjects)
 			allocBytes[i].Set(row.AllocBytes)
+		}
+		if vs := rt.vmStats.Load(); vs != nil {
+			for _, sc := range vmCols {
+				sc.c.Set(atomic.LoadInt64(sc.get(vs)))
+			}
+		}
+		if pt := rt.ptStats.Load(); pt != nil {
+			ptResident.Set(pt.ResidentPages)
+			ptNodes.Set(pt.Nodes)
+			ptDirty.Set(pt.DirtyPages)
 		}
 		depth.Set(rt.pipelineDepthNow())
 		for _, r := range rt.MisspecSites() {

@@ -84,6 +84,13 @@ type Config struct {
 	// constructs (master, workers, recovery), enabling the sampling
 	// per-opcode profiler (see interp.OpProfiler).
 	OpProf *interp.OpProfiler
+	// EagerClone selects the flat-table baseline memory mode: worker spawn
+	// rebuilds the whole page table and deep-copies allocator state up
+	// front, and dirty scans visit every resident entry instead of
+	// following the radix table's dirty summaries. Semantically identical
+	// to the default lazy mode; used by the scale experiment as its
+	// before/after reference.
+	EagerClone bool
 }
 
 // RegionInfo bundles the compiler artifacts for one parallel region.
@@ -220,6 +227,16 @@ type RT struct {
 	histRegionWall *obs.Histogram
 	histInstall    *obs.Histogram
 
+	// ptStats caches the master page table's radix occupancy for metric
+	// scrapes. The tree itself must not be walked concurrently with
+	// mutation, so the cache is refreshed only at quiescent points (region
+	// invocation boundaries) and scrapes read the last snapshot.
+	ptStats atomic.Pointer[vm.PageTableStats]
+	// vmStats atomically publishes the master space's memory-system Stats
+	// block for scrapes (set in Run once the master space exists; the block
+	// itself is in atomic-update mode whenever metrics are enabled).
+	vmStats atomic.Pointer[vm.Stats]
+
 	// curInterval and doneInterval (atomic) expose the live pipeline
 	// depth: the newest interval any worker has started vs. the newest
 	// interval the background committer has fully retired.
@@ -299,6 +316,13 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 	rt.master = master
 	master.AS.Trace = rt.Cfg.Trace
 	master.AS.Occ = rt.occ
+	master.AS.EagerClone = rt.Cfg.EagerClone
+	if rt.Cfg.Metrics != nil {
+		// Scrapes read the master's memory-system counters concurrently
+		// with execution, so its Stats block must update atomically.
+		master.AS.AtomicStats()
+		rt.vmStats.Store(master.AS.Stats)
+	}
 	master.Prof = rt.Cfg.OpProf
 	master.Hooks.OnPrint = func(in *ir.Instr, text string) bool {
 		rt.writeOut(text)
@@ -410,6 +434,13 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 		wall := int64(time.Since(wallStart))
 		atomic.AddInt64(&rt.Stats.RegionWallNS, wall)
 		rt.histRegionWall.Observe(wall)
+		// Workers and the committer have joined: the master space is
+		// quiescent, so this is a safe point to refresh the page-table
+		// snapshot metric scrapes read.
+		if rt.Cfg.Metrics != nil {
+			pt := rt.master.AS.PageTable()
+			rt.ptStats.Store(&pt)
+		}
 	}()
 	tr := rt.Cfg.Trace
 	if tr.On() {

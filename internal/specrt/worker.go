@@ -448,9 +448,11 @@ func (w *worker) privAccess(addr uint64, size int64, isWrite bool) error {
 }
 
 // resetShadow collapses the worker's timestamps to old-write after a
-// checkpoint contribution.
+// checkpoint contribution. The dirty walk covers every shadow page (all of
+// them are worker-created, hence dirty) without scanning the rest of the
+// footprint.
 func (w *worker) resetShadow() {
-	w.as.HeapPages(ir.HeapShadow, func(base uint64, data []byte) {
+	w.as.DirtyHeapPages(ir.HeapShadow, func(base uint64, data []byte) {
 		for i, m := range data {
 			if m >= MetaTSBase {
 				data[i] = MetaOldWrite

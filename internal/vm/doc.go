@@ -4,28 +4,36 @@
 // 3-bit heap tag occupies address bits 44-46.
 //
 // The paper implements this with POSIX shm_open/mmap and worker processes;
-// here each worker owns an AddressSpace value. Cloning an AddressSpace marks
-// every page copy-on-write, so a worker's writes are isolated from its
-// parent exactly as fork-style COW isolates processes, and "several calls to
-// mmap" during recovery becomes copying page-table entries from a checkpoint.
+// here each worker owns an AddressSpace value backed by a five-level radix
+// page table (see pagetable.go). The heap tag forms the top bits of the
+// root index, so each logical heap is a contiguous range of root slots and
+// heap-granular scans and resets are range operations. Cloning an
+// AddressSpace is O(1) range-COW: both sides take fresh ownership epochs,
+// which marks every existing subtree shared, and the first write through
+// either side path-copies just the nodes on the way down — a worker's
+// writes are isolated from its parent exactly as fork-style COW isolates
+// processes, and "several calls to mmap" during recovery becomes copying
+// page-table entries from a checkpoint. Per-subtree dirty summaries,
+// maintained on the store path, let DirtyPages and DirtyHeapPages collect a
+// space's touched pages in O(touched) rather than O(resident).
 //
 // # Concurrency
 //
 // An AddressSpace is not a concurrent data structure: each one has exactly
 // one owner goroutine, and only that owner may call its methods. What makes
-// concurrent speculation sound anyway is the lazy-clone invariant:
+// concurrent speculation sound anyway is the range-COW invariant:
 //
-//	a heap's page-table map that is referenced by two or more address
-//	spaces is never mutated — the first write through any referencing
-//	space materializes a private copy of that map first.
+//	a radix node reachable from two or more address spaces (a stale
+//	epoch) is never mutated — the first write through any referencing
+//	space path-copies the shared nodes into privately owned ones first.
 //
-// Clone therefore only bumps reference counts, and a parent and its clones
-// can execute concurrently without locks: writes on either side copy page
-// tables (and then pages) privately before mutating, so no goroutine ever
-// observes another's mutation through shared structure. This is what lets
-// the pipelined committer (internal/specrt) install checkpoint data into
-// the master space while worker goroutines are still executing against
-// clones taken from it: the shared maps are frozen, and the master's
+// Clone therefore only issues fresh epochs, and a parent and its clones can
+// execute concurrently without locks: writes on either side split shared
+// subtrees (and then copy pages) privately before mutating, so no goroutine
+// ever observes another's mutation through shared structure. This is what
+// lets the pipelined committer (internal/specrt) install checkpoint data
+// into the master space while worker goroutines are still executing against
+// clones taken from it: the shared subtrees are frozen, and the master's
 // writes materialize private ones. TestConcurrentCloneIsolation pins this
 // under the race detector.
 package vm

@@ -84,6 +84,10 @@ type heapState struct {
 	liveCount int
 	// allocBytes totals bytes ever allocated from this heap.
 	allocBytes uint64
+	// shared marks free/objects as referenced by another heapState (lazy
+	// clone): they are then read-only, and own() replaces them with private
+	// copies before the first Alloc/Free mutation.
+	shared bool
 }
 
 func newHeapState(h ir.HeapKind) *heapState {
@@ -96,7 +100,23 @@ func newHeapState(h ir.HeapKind) *heapState {
 	}
 }
 
-func (hs *heapState) clone() *heapState {
+// clone duplicates the allocator state. The lazy default shares the free
+// and objects maps between both sides (marking them read-only until a
+// mutation owns them), so cloning costs O(1) regardless of how many objects
+// are live; eager deep-copies everything up front, preserving the old
+// flat-table cost profile for the EagerClone baseline.
+func (hs *heapState) clone(eager bool) *heapState {
+	if !eager {
+		hs.shared = true
+		return &heapState{
+			brk:        hs.brk,
+			free:       hs.free,
+			objects:    hs.objects,
+			liveCount:  hs.liveCount,
+			allocBytes: hs.allocBytes,
+			shared:     true,
+		}
+	}
 	c := &heapState{
 		brk:        hs.brk,
 		free:       make(map[uint64][]uint64, len(hs.free)),
@@ -113,6 +133,25 @@ func (hs *heapState) clone() *heapState {
 	return c
 }
 
+// own gives a heapState sharing its maps private copies — the deferred half
+// of the lazy allocator clone, run before the first mutation. Free-list
+// slices are deep-copied too: appending through a shared backing array
+// would be visible to (and race with) the other side.
+func (hs *heapState) own() {
+	if !hs.shared {
+		return
+	}
+	free := make(map[uint64][]uint64, len(hs.free))
+	for k, v := range hs.free {
+		free[k] = append([]uint64(nil), v...)
+	}
+	objects := make(map[uint64]uint64, len(hs.objects))
+	for k, v := range hs.objects {
+		objects[k] = v
+	}
+	hs.free, hs.objects, hs.shared = free, objects, false
+}
+
 // Stats counts memory-system events, exposed for the paper's overhead
 // accounting (Figure 8) and for tests.
 type Stats struct {
@@ -123,6 +162,12 @@ type Stats struct {
 	// BytesRead and BytesWritten total access volume.
 	BytesRead    int64
 	BytesWritten int64
+	// NodesCopied counts radix page-table nodes path-copied on first
+	// mutation under a shared subtree (range-COW splits).
+	NodesCopied int64
+	// SummaryHits counts subtrees skipped outright by dirty-summary-guided
+	// walks (DirtyPages/DirtyHeapPages).
+	SummaryHits int64
 }
 
 // tlbEntry is one cached translation of the software TLB: page number to
@@ -137,17 +182,25 @@ type tlbEntry struct {
 // tlbSize is the number of direct-mapped TLB entries (a power of two).
 const tlbSize = 64
 
-// AddressSpace is one simulated process's view of memory: a page table plus
-// per-heap allocator state and protections.
+// AddressSpace is one simulated process's view of memory: a multi-level
+// radix page table plus per-heap allocator state and protections.
 type AddressSpace struct {
-	pages map[uint64]*pageEntry // keyed by addr >> PageShift
-	// pagesShared marks the page table as shared with one or more clones
-	// (lazy copy-on-write cloning): every page is then implicitly COW and
-	// the table is materialized privately before any mutation. A map
-	// referenced by two or more spaces is never mutated.
-	pagesShared bool
-	heaps       [ir.NumHeaps]*heapState
-	prot        [ir.NumHeaps]Prot
+	// root is the radix page table (see pagetable.go). Clones share
+	// subtrees copy-on-write at range granularity: epoch identifies which
+	// nodes this space owns, and every node it does not own is path-copied
+	// before mutation. A node reachable from two or more spaces is never
+	// mutated.
+	root  *radixNode
+	epoch uint64
+	heaps [ir.NumHeaps]*heapState
+	prot  [ir.NumHeaps]Prot
+
+	// EagerClone selects the flat-table compatibility baseline: Clone
+	// rebuilds the whole page table and deep-copies allocator state up
+	// front (O(resident footprint)), and dirty walks scan every resident
+	// entry instead of following summaries. Inherited by clones; used for
+	// the scale experiment's before/after comparison.
+	EagerClone bool
 
 	// rtlb and wtlb are small direct-mapped software TLBs consulted before
 	// the page map: rtlb caches protection-checked read translations, wtlb
@@ -198,22 +251,12 @@ func (as *AddressSpace) flushTLB(cause string) {
 		Invocation: as.TraceInv, Worker: as.TraceWorker, Iter: -1, Cause: cause})
 }
 
-// materialize gives a space sharing its page table a private copy, with
-// every page marked copy-on-write — the deferred half of lazy cloning.
-func (as *AddressSpace) materialize() {
-	m := make(map[uint64]*pageEntry, len(as.pages))
-	for k, e := range as.pages {
-		m[k] = &pageEntry{pg: e.pg, cow: true}
-	}
-	as.pages = m
-	as.pagesShared = false
-}
-
 // NewAddressSpace returns an empty address space with every heap mapped
 // read-write and empty.
 func NewAddressSpace() *AddressSpace {
-	as := &AddressSpace{pages: map[uint64]*pageEntry{}, Stats: &Stats{},
-		TraceWorker: -1, TraceInv: -1}
+	epoch := nextEpoch()
+	as := &AddressSpace{root: newInterior(epoch), epoch: epoch,
+		Stats: &Stats{}, TraceWorker: -1, TraceInv: -1}
 	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
 		as.heaps[h] = newHeapState(h)
 		as.prot[h] = ProtReadWrite
@@ -223,18 +266,24 @@ func NewAddressSpace() *AddressSpace {
 
 // Clone returns a copy-on-write duplicate of the address space, as fork
 // would produce: both spaces share physical pages until either writes.
-// Cloning is lazy: parent and child share the page table itself, and each
-// side materializes a private table (all pages marked COW) only on its
-// first page-table mutation, so spawning a read-mostly worker costs O(heap
-// allocator state), not O(mapped pages).
+// Cloning is lazy at range granularity: parent and child share the radix
+// table's subtrees, and both sides take fresh ownership epochs, which marks
+// every existing node shared in O(1). The first mutation under a shared
+// subtree path-copies only the nodes on the way down (marking the split
+// leaf's pages copy-on-write), so spawning a read-mostly worker costs O(1),
+// not O(mapped pages) or O(live allocations).
 func (as *AddressSpace) Clone() *AddressSpace {
-	as.pagesShared = true
+	as.epoch = nextEpoch()
 	as.flushTLB("clone")
-	c := &AddressSpace{pages: as.pages, pagesShared: true, Stats: &Stats{},
-		Trace: as.Trace, TraceWorker: as.TraceWorker, TraceInv: as.TraceInv}
+	c := &AddressSpace{root: as.root, epoch: nextEpoch(), Stats: &Stats{},
+		EagerClone: as.EagerClone,
+		Trace:      as.Trace, TraceWorker: as.TraceWorker, TraceInv: as.TraceInv}
 	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
-		c.heaps[h] = as.heaps[h].clone()
+		c.heaps[h] = as.heaps[h].clone(as.EagerClone)
 		c.prot[h] = as.prot[h]
+	}
+	if as.EagerClone {
+		c.eagerOwn()
 	}
 	return c
 }
@@ -253,6 +302,11 @@ func (as *AddressSpace) CloneSharingStats() *AddressSpace {
 	return c
 }
 
+// AtomicStats switches this space's Stats updates to atomic operations, so
+// a concurrent reader (a live metrics scrape) may load the counters with
+// sync/atomic while the space executes. CloneSharingStats implies it.
+func (as *AddressSpace) AtomicStats() { as.statsAtomic = true }
+
 // SetProt sets the protection of an entire logical heap, the granularity at
 // which Privateer manipulates page maps.
 func (as *AddressSpace) SetProt(h ir.HeapKind, p Prot) {
@@ -269,26 +323,30 @@ func (as *AddressSpace) ProtOf(h ir.HeapKind) Prot { return as.prot[h] }
 // TLB hit implies the protection check already succeeded.
 func (as *AddressSpace) pageFor(addr uint64, forWrite bool) *page {
 	key := addr >> PageShift
-	if as.pagesShared {
-		// Reads of already-mapped pages may go through the shared table;
-		// any mutation (instantiation or COW resolution) first takes a
-		// private copy of it.
-		if e := as.pages[key]; e != nil && !forWrite {
+	if !forWrite {
+		// Reads of already-mapped pages descend straight through shared
+		// subtrees without copying anything.
+		if e := as.peek(key); e != nil {
 			as.rtlb[key&(tlbSize-1)] = tlbEntry{pn: key, pg: e.pg}
 			return e.pg
 		}
-		as.materialize()
 	}
-	e := as.pages[key]
-	if e == nil {
-		e = &pageEntry{pg: &page{}}
-		as.pages[key] = e
+	// Any mutation (instantiation or COW resolution) path-copies the shared
+	// part of the branch first, then maintains the dirty summaries.
+	var path [radixLevels]*radixNode
+	leaf := as.ownPath(key, &path)
+	slot := slotOf(key, radixLevels-1)
+	e := &leaf.entries[slot]
+	if e.pg == nil {
+		e.pg = &page{}
 		as.addStat(&as.Stats.PagesMapped, 1)
+		as.markDirty(&path, slot)
 	} else if forWrite && e.cow {
 		dup := &page{data: e.pg.data}
 		e.pg = dup
 		e.cow = false
 		as.addStat(&as.Stats.PagesCopied, 1)
+		as.markDirty(&path, slot)
 		as.Trace.Instant(obs.Event{Kind: obs.KCOWCopy,
 			Invocation: as.TraceInv, Worker: as.TraceWorker, Iter: -1,
 			A: int64(key << PageShift)})
@@ -476,6 +534,7 @@ func (as *AddressSpace) Alloc(h ir.HeapKind, size uint64) (uint64, error) {
 		size = 1
 	}
 	hs := as.heaps[h]
+	hs.own()
 	rounded := (size + allocAlign - 1) &^ uint64(allocAlign-1)
 	var addr uint64
 	if lst := hs.free[rounded]; len(lst) > 0 {
@@ -506,6 +565,7 @@ func (as *AddressSpace) Free(addr uint64) error {
 	if !live {
 		return fmt.Errorf("vm: free of non-allocated address %#x (%s heap)", addr, h)
 	}
+	hs.own()
 	delete(hs.objects, addr)
 	hs.liveCount--
 	hs.free[rounded] = append(hs.free[rounded], addr)
@@ -530,49 +590,56 @@ func (as *AddressSpace) AllocatedBytes(h ir.HeapKind) uint64 { return as.heaps[h
 // Brk returns the bump pointer of heap h (its high-water mark).
 func (as *AddressSpace) Brk(h ir.HeapKind) uint64 { return as.heaps[h].brk }
 
+// clearHeapSubtrees detaches heap h's root subtrees (an O(16) range
+// operation) and resynchronizes the root's dirty summary, which must keep
+// upper-bounding the dirty pages reachable along owned paths.
+func (as *AddressSpace) clearHeapSubtrees(h ir.HeapKind) {
+	if as.root.epoch != as.epoch {
+		as.root = as.root.copyAs(as.epoch)
+		as.addStat(&as.Stats.NodesCopied, 1)
+	}
+	lo, hi := heapSlotRange(h)
+	for s := lo; s < hi; s++ {
+		as.root.kids[s] = nil
+	}
+	var dirty int64
+	for _, kid := range as.root.kids {
+		if kid != nil && kid.epoch == as.epoch {
+			dirty += kid.dirty
+		}
+	}
+	as.root.dirty = dirty
+}
+
 // ResetHeap discards all allocations and contents of heap h, returning it to
 // its initial empty state (fresh pages on next touch).
 func (as *AddressSpace) ResetHeap(h ir.HeapKind) {
-	if as.pagesShared {
-		as.materialize()
-	}
+	as.clearHeapSubtrees(h)
 	as.heaps[h] = newHeapState(h)
-	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
-	for k := range as.pages {
-		if k >= lo && k < hi {
-			delete(as.pages, k)
-		}
-	}
 	if as.Occ != nil {
 		as.Occ.resync(h, as.heaps[h])
 	}
 	as.flushTLB("reset-heap")
 }
 
-// CopyHeapFrom replaces this space's view of heap h with src's, sharing
-// pages copy-on-write. This is the simulated equivalent of the recovery
-// path's "several calls to mmap" that install a checkpoint's heap images.
+// CopyHeapFrom replaces this space's view of heap h with src's: page
+// contents are duplicated into entries marked copy-on-write (so they stay
+// out of DirtyPages, exactly like a checkpoint-installed image), and the
+// allocator state is cloned. This is the simulated equivalent of the
+// recovery path's "several calls to mmap" that install a checkpoint's heap
+// images.
 func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
-	if as.pagesShared {
-		as.materialize()
-	}
-	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
-	for k := range as.pages {
-		if k >= lo && k < hi {
-			delete(as.pages, k)
-		}
-	}
-	for k, e := range src.pages {
-		if k >= lo && k < hi {
-			// A shared table is already implicitly COW everywhere (and must
-			// not be mutated while other spaces reference it).
-			if !src.pagesShared {
-				e.cow = true
-			}
-			as.pages[k] = &pageEntry{pg: e.pg, cow: true}
-		}
-	}
-	as.heaps[h] = src.heaps[h].clone()
+	as.clearHeapSubtrees(h)
+	var path [radixLevels]*radixNode
+	src.HeapPages(h, func(base uint64, data []byte) {
+		pn := base >> PageShift
+		leaf := as.ownPath(pn, &path)
+		e := &leaf.entries[slotOf(pn, radixLevels-1)]
+		dup := &page{}
+		copy(dup.data[:], data)
+		*e = pageEntry{pg: dup, cow: true}
+	})
+	as.heaps[h] = src.heaps[h].clone(as.EagerClone)
 	if as.Occ != nil {
 		as.Occ.resync(h, as.heaps[h])
 	}
@@ -582,14 +649,43 @@ func (as *AddressSpace) CopyHeapFrom(src *AddressSpace, h ir.HeapKind) {
 
 // DirtyPages calls visit for every page this address space owns privately —
 // pages written since the last Clone (COW-resolved) or newly instantiated.
-// The data slice aliases live memory and must not be retained.
+// The walk is summary-guided: shared or untouched subtrees are skipped
+// without descending (O(touched pages), not O(resident footprint)). The
+// data slice aliases live memory and must not be retained.
 func (as *AddressSpace) DirtyPages(visit func(base uint64, data []byte)) {
-	if as.pagesShared {
-		return // table shared since the last Clone: nothing written
+	if as.EagerClone {
+		as.root.walkNotCOW(0, func(base uint64, e *pageEntry) {
+			visit(base, e.pg.data[:])
+		})
+		return
 	}
-	for k, e := range as.pages {
-		if !e.cow {
-			visit(k<<PageShift, e.pg.data[:])
+	as.walkDirty(as.root, 0, func(base uint64, e *pageEntry) {
+		visit(base, e.pg.data[:])
+	})
+}
+
+// DirtyHeapPages is DirtyPages restricted to heap h: a summary-guided walk
+// over the heap's root-slot range that skips shared and untouched subtrees
+// outright. The data slice aliases live memory and must not be retained.
+func (as *AddressSpace) DirtyHeapPages(h ir.HeapKind, visit func(base uint64, data []byte)) {
+	if as.EagerClone {
+		as.heapWalkAll(h, func(base uint64, e *pageEntry) {
+			if !e.cow {
+				visit(base, e.pg.data[:])
+			}
+		})
+		return
+	}
+	if as.root.epoch != as.epoch || as.root.dirty == 0 {
+		as.addStat(&as.Stats.SummaryHits, 1)
+		return
+	}
+	lo, hi := heapSlotRange(h)
+	for s := lo; s < hi; s++ {
+		if kid := as.root.kids[s]; kid != nil {
+			as.walkDirty(kid, s, func(base uint64, e *pageEntry) {
+				visit(base, e.pg.data[:])
+			})
 		}
 	}
 }
@@ -597,21 +693,29 @@ func (as *AddressSpace) DirtyPages(visit func(base uint64, data []byte)) {
 // PageData returns the contents of the page containing addr without
 // instantiating it; ok is false for never-touched pages (all zero).
 func (as *AddressSpace) PageData(addr uint64) ([]byte, bool) {
-	e := as.pages[addr>>PageShift]
+	e := as.peek(addr >> PageShift)
 	if e == nil {
 		return nil, false
 	}
 	return e.pg.data[:], true
 }
 
+// heapWalkAll visits every instantiated page entry of heap h, regardless of
+// ownership or dirty state.
+func (as *AddressSpace) heapWalkAll(h ir.HeapKind, visit func(base uint64, e *pageEntry)) {
+	lo, hi := heapSlotRange(h)
+	for s := lo; s < hi; s++ {
+		if kid := as.root.kids[s]; kid != nil {
+			kid.walkAll(s, visit)
+		}
+	}
+}
+
 // HeapPages calls visit for every instantiated page of heap h with the
 // page's base address and contents. The contents slice aliases live memory
 // and must not be retained.
 func (as *AddressSpace) HeapPages(h ir.HeapKind, visit func(base uint64, data []byte)) {
-	lo, hi := h.Base()>>PageShift, (h.Base()+(uint64(1)<<ir.TagShift))>>PageShift
-	for k, e := range as.pages {
-		if k >= lo && k < hi {
-			visit(k<<PageShift, e.pg.data[:])
-		}
-	}
+	as.heapWalkAll(h, func(base uint64, e *pageEntry) {
+		visit(base, e.pg.data[:])
+	})
 }
