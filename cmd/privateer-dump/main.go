@@ -33,9 +33,10 @@ func main() {
 		heaps    = flag.Bool("heaps", false, "dump the heap assignment (Figure 4)")
 		profile  = flag.Bool("profile", false, "dump hot loops and carried dependences")
 		ptable   = flag.Bool("pagetable", false, "run the program sequentially and dump radix page-table occupancy and dirty-summary stats")
+		elision  = flag.Bool("elision", false, "dump the postprocess pass's per-category elision & promotion counters")
 	)
 	flag.Parse()
-	if err := run(*progName, *input, *showIR, *heaps, *profile, *ptable, *outFile); err != nil {
+	if err := run(*progName, *input, *showIR, *heaps, *profile, *ptable, *elision, *outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-dump:", err)
 		os.Exit(1)
 	}
@@ -67,7 +68,7 @@ func dumpPageTable(p *progs.Program, in progs.Input) error {
 	return nil
 }
 
-func run(progName, input string, showIR, heaps, profile, ptable bool, outFile string) error {
+func run(progName, input string, showIR, heaps, profile, ptable, elision bool, outFile string) error {
 	p := progs.ByName(progName)
 	if p == nil {
 		return fmt.Errorf("unknown program %q", progName)
@@ -90,11 +91,11 @@ func run(progName, input string, showIR, heaps, profile, ptable bool, outFile st
 			return err
 		}
 		fmt.Printf("wrote %s (%s, %s input)\n", outFile, p.Name, in)
-		if !showIR && !heaps && !profile && !ptable {
+		if !showIR && !heaps && !profile && !ptable && !elision {
 			return nil
 		}
 	}
-	if !showIR && !heaps && !profile && !ptable {
+	if !showIR && !heaps && !profile && !ptable && !elision {
 		heaps = true // default view
 	}
 
@@ -122,7 +123,7 @@ func run(progName, input string, showIR, heaps, profile, ptable bool, outFile st
 		fmt.Println()
 	}
 
-	if !showIR && !heaps {
+	if !showIR && !heaps && !elision {
 		return nil
 	}
 	var before string
@@ -146,6 +147,20 @@ func run(progName, input string, showIR, heaps, profile, ptable bool, outFile st
 				"%d/%d privacy read/write checks, %d redux marks, %d predictions, %d cold guards\n",
 				st.SeparationChecks, st.SeparationElided,
 				st.PrivacyReads, st.PrivacyWrites, st.ReduxMarks, st.Predicts, st.ColdGuards)
+		}
+	}
+	if elision {
+		fmt.Printf("postprocess pass of %s (%s):\n", p.Name, in)
+		for _, ri := range par.Regions {
+			st := ri.TStats
+			fmt.Printf("  region %s:\n", ri.Outline.LoopName)
+			fmt.Printf("    joined        %6d  (adjacent checks folded into spans)\n", st.Joined)
+			fmt.Printf("    eliminated    %6d  (dominated by an equal-address check)\n", st.Eliminated)
+			fmt.Printf("    invariant     %6d  (loop-invariant checks hoisted)\n", st.InvPromoted)
+			fmt.Printf("    dense         %6d  (affine unit-stride checks promoted to spans)\n", st.DensePromoted)
+			fmt.Printf("    sparse        %6d  (affine strided checks promoted to spans)\n", st.SparsePromoted)
+			fmt.Printf("    redundant-uo  %6d  (separation checks on a checked underlying object)\n", st.HeapRedundantUO)
+			fmt.Printf("    sites: %s\n", st.SitesSummary())
 		}
 	}
 	if showIR {

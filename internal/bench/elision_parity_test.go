@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"privateer/internal/core"
+	"privateer/internal/ir"
+	"privateer/internal/progs"
+)
+
+// TestElisionParity is the differential parity gate for the postprocess
+// pass: for every benchmark program the elided/promoted build must
+// reproduce the unelided build byte for byte — same return value, same
+// printed output — while executing no more dynamic privacy checks. The
+// test compiles under both dispatch modes; the slowpath CI lane runs it
+// with -tags=slowpath, so the tree-walk reference executor arbitrates the
+// comparison there.
+func TestElisionParity(t *testing.T) {
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			in := p.Train
+			build := func() *ir.Module { return p.Build(in) }
+			before, err := elisionRun(build, true, 4, 1)
+			if err != nil {
+				t.Fatalf("unelided: %v", err)
+			}
+			after, err := elisionRun(build, false, 4, 1)
+			if err != nil {
+				t.Fatalf("elided: %v", err)
+			}
+			if after.Ret != before.Ret || after.Out != before.Out {
+				t.Errorf("elided build diverged from unelided: ret %#x vs %#x, output %d vs %d bytes",
+					after.Ret, before.Ret, len(after.Out), len(before.Out))
+			}
+			if after.Checks > before.Checks {
+				t.Errorf("elided build ran more checks (%d) than unelided (%d)",
+					after.Checks, before.Checks)
+			}
+			seqRet, seqOut, err := core.RunSequential(p.Build(in))
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			// Float-result programs may differ from sequential in fold order
+			// (reduction reassociation); everything else must match exactly.
+			if !p.FloatResult && (after.Ret != seqRet || after.Out != seqOut) {
+				t.Errorf("elided build diverged from sequential: ret %#x vs %#x",
+					after.Ret, seqRet)
+			}
+		})
+	}
+}

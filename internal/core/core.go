@@ -35,10 +35,11 @@ type Options struct {
 	// MinLoopSteps filters loops whose profiled execution time share is
 	// negligible (absolute step count; 0 selects a small default).
 	MinLoopSteps int64
-	// DisableValuePrediction and DisableElision are ablation knobs (see
-	// classify.Options and transform.Options).
+	// DisableValuePrediction, DisableElision and DisablePostprocess are
+	// ablation knobs (see classify.Options and transform.Options).
 	DisableValuePrediction bool
 	DisableElision         bool
+	DisablePostprocess     bool
 }
 
 // LoopReport records the pipeline's decision about one hot loop.
@@ -102,6 +103,14 @@ func Parallelize(mod *ir.Module, opts Options) (*Parallelized, error) {
 		switch {
 		case li.Steps < minSteps:
 			rep.Reason = "cold"
+		case li.Invocations > 0 && li.Iterations < 3*li.Invocations:
+			// Iterations counts header trips, so this is fewer than two
+			// body iterations per invocation: no parallelism to extract,
+			// and a single-iteration profile cannot expose the loop's
+			// carried dependences (a one-epoch training run looks
+			// spuriously DOALL-able), so speculation would only
+			// misspeculate. Skipping it lets a hot inner loop be selected.
+			rep.Reason = "too few iterations per invocation to profit"
 		case conflictsWithSelected(l, selectedLoops):
 			rep.Reason = "may be simultaneously active with a selected loop"
 		default:
@@ -118,7 +127,10 @@ func Parallelize(mod *ir.Module, opts Options) (*Parallelized, error) {
 				break
 			}
 			res, err := transform.ApplyOpts(mod, l, prof, a, plan, pt,
-				transform.Options{DisableElision: opts.DisableElision})
+				transform.Options{
+					DisableElision:     opts.DisableElision,
+					DisablePostprocess: opts.DisablePostprocess,
+				})
 			if err != nil {
 				rep.Reason = err.Error()
 				break

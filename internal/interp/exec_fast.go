@@ -25,6 +25,8 @@ const (
 	hRedux
 	hPredict
 	hMisspec
+	hPrivReadSpan
+	hPrivWriteSpan
 	// hOpProf is not a Hooks field: it gates the sampling per-opcode
 	// profiler (opprof.go). Unlike the other bits it is tested only at
 	// activation entry and call-return resyncs — the per-instruction gate
@@ -77,6 +79,12 @@ func (it *Interp) computeHookMask() uint32 {
 	}
 	if h.Misspec != nil {
 		m |= hMisspec
+	}
+	if h.PrivateReadSpan != nil {
+		m |= hPrivReadSpan
+	}
+	if h.PrivateWriteSpan != nil {
+		m |= hPrivWriteSpan
 	}
 	if it.Prof != nil {
 		m |= hOpProf
@@ -416,6 +424,22 @@ func (it *Interp) execDecoded(fr *Frame, df *decodedFunc) (uint64, error) {
 			if mask&hPrivWrite != 0 {
 				it.Steps = steps
 				if err := hooks.PrivateWrite(di.in, vals[di.a], di.size); err != nil {
+					return 0, err
+				}
+			}
+		case ir.OpPrivateReadSpan:
+			if mask&hPrivReadSpan != 0 {
+				it.Steps = steps
+				if err := hooks.PrivateReadSpan(di.in, vals[di.a],
+					int64(vals[di.b]), int64(vals[di.c]), di.size); err != nil {
+					return 0, err
+				}
+			}
+		case ir.OpPrivateWriteSpan:
+			if mask&hPrivWriteSpan != 0 {
+				it.Steps = steps
+				if err := hooks.PrivateWriteSpan(di.in, vals[di.a],
+					int64(vals[di.b]), int64(vals[di.c]), di.size); err != nil {
 					return 0, err
 				}
 			}

@@ -97,6 +97,11 @@ type Hooks struct {
 	// PrivateRead and PrivateWrite validate privacy checks.
 	PrivateRead  func(in *ir.Instr, addr uint64, size int64) error
 	PrivateWrite func(in *ir.Instr, addr uint64, size int64) error
+	// PrivateReadSpan and PrivateWriteSpan validate span-level privacy
+	// checks: count elements of size bytes starting at addr, stride bytes
+	// apart (count <= 0 is a no-op).
+	PrivateReadSpan  func(in *ir.Instr, addr uint64, count, stride, size int64) error
+	PrivateWriteSpan func(in *ir.Instr, addr uint64, count, stride, size int64) error
 	// ReduxWrite observes a reduction update.
 	ReduxWrite func(in *ir.Instr, addr uint64, size int64) error
 	// Predict validates a value prediction; default misspeculates on
@@ -633,6 +638,14 @@ func (it *Interp) execInstr(fr *Frame, in *ir.Instr) error {
 	case ir.OpPrivateWrite:
 		if it.Hooks.PrivateWrite != nil {
 			return it.Hooks.PrivateWrite(in, arg(0), in.Size)
+		}
+	case ir.OpPrivateReadSpan:
+		if it.Hooks.PrivateReadSpan != nil {
+			return it.Hooks.PrivateReadSpan(in, arg(0), int64(arg(1)), int64(arg(2)), in.Size)
+		}
+	case ir.OpPrivateWriteSpan:
+		if it.Hooks.PrivateWriteSpan != nil {
+			return it.Hooks.PrivateWriteSpan(in, arg(0), int64(arg(1)), int64(arg(2)), in.Size)
 		}
 	case ir.OpReduxWrite:
 		if it.Hooks.ReduxWrite != nil {

@@ -369,6 +369,24 @@ func (bd *Builder) PrivateWrite(ptr Value, size int64) *Instr {
 	return bd.emit(in)
 }
 
+// PrivateReadSpan emits a span privacy check covering reads of count
+// elements of size bytes starting at ptr, consecutive elements stride
+// bytes apart.
+func (bd *Builder) PrivateReadSpan(ptr, count, stride Value, size int64) *Instr {
+	in := bd.F.newInstr(OpPrivateReadSpan, Void, ptr, count, stride)
+	in.Size = size
+	return bd.emit(in)
+}
+
+// PrivateWriteSpan emits a span privacy check covering writes of count
+// elements of size bytes starting at ptr, consecutive elements stride
+// bytes apart.
+func (bd *Builder) PrivateWriteSpan(ptr, count, stride Value, size int64) *Instr {
+	in := bd.F.newInstr(OpPrivateWriteSpan, Void, ptr, count, stride)
+	in.Size = size
+	return bd.emit(in)
+}
+
 // ReduxWrite emits a reduction-update marker for size bytes at ptr using
 // operator k.
 func (bd *Builder) ReduxWrite(ptr Value, size int64, k ReduxKind) *Instr {

@@ -140,6 +140,14 @@ const (
 	OpPredict      // value prediction check: misspeculate if Args[0] != Args[1]
 	OpMisspec      // unconditionally signal misspeculation
 
+	// Span-level privacy marks, produced by the postprocess elision pass
+	// (Postprocess.cpp's joined/promoted private ops): one mark covers
+	// Args[1] elements of Size bytes starting at Args[0], consecutive
+	// elements Args[2] bytes apart. A dense span has stride == Size; a
+	// count <= 0 is a runtime no-op.
+	OpPrivateReadSpan  // span privacy check before reads
+	OpPrivateWriteSpan // span privacy check before writes
+
 	opCount
 )
 
@@ -166,6 +174,7 @@ var opNames = [...]string{
 	OpHAlloc: "h_alloc", OpHDealloc: "h_dealloc", OpCheckHeap: "check_heap",
 	OpPrivateRead: "private_read", OpPrivateWrite: "private_write",
 	OpReduxWrite: "redux_write", OpPredict: "predict", OpMisspec: "misspec",
+	OpPrivateReadSpan: "private_read_span", OpPrivateWriteSpan: "private_write_span",
 }
 
 func (o Op) String() string {

@@ -71,7 +71,8 @@ func instrString(in *Instr, nm namer) string {
 		}
 	case OpFConst:
 		fmt.Fprintf(&sb, " %g", math.Float64frombits(in.Const))
-	case OpLoad, OpStore, OpPrivateRead, OpPrivateWrite:
+	case OpLoad, OpStore, OpPrivateRead, OpPrivateWrite,
+		OpPrivateReadSpan, OpPrivateWriteSpan:
 		fmt.Fprintf(&sb, ".%d", in.Size)
 		if in.Float {
 			sb.WriteString("f")

@@ -82,7 +82,8 @@ func verifyFunc(f *Function) error {
 				if in.GlobalRef == nil || f.Mod.Globals[in.GlobalRef.Name] != in.GlobalRef {
 					return errf(in, "global reference not in module")
 				}
-			case OpLoad, OpStore, OpPrivateRead, OpPrivateWrite:
+			case OpLoad, OpStore, OpPrivateRead, OpPrivateWrite,
+				OpPrivateReadSpan, OpPrivateWriteSpan:
 				switch in.Size {
 				case 1, 2, 4, 8:
 				default:
@@ -122,7 +123,7 @@ func verifyArity(in *Instr, errf func(*Instr, string, ...interface{}) error) err
 		OpFAdd, OpFSub, OpFMul, OpFDiv, OpFEq, OpFLt, OpFLe, OpFGt, OpFGe,
 		OpStore, OpPredict:
 		want = 2
-	case OpSelect, OpMemSet, OpMemCopy:
+	case OpSelect, OpMemSet, OpMemCopy, OpPrivateReadSpan, OpPrivateWriteSpan:
 		want = 3
 	case OpCondBr:
 		want = 1

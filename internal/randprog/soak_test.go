@@ -90,7 +90,8 @@ func TestSoakViolation(t *testing.T) {
 			t.Fatalf("seed %d: sequential: %v", seed, err)
 		}
 		par, err := core.Parallelize(Generate(cfg), core.Options{
-			TrainArgs: []uint64{TrainTrips(cfg)},
+			TrainArgs:          []uint64{TrainTrips(cfg)},
+			DisablePostprocess: elisionToggle(seed),
 		})
 		if err != nil {
 			t.Fatalf("seed %d: parallelize: %v", seed, err)

@@ -1,6 +1,7 @@
 package specrt
 
 import (
+	"encoding/binary"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -119,29 +120,37 @@ func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) uint64
 	var missAddr uint64
 	privBase := pg.base &^ ir.ShadowBit
 	var combinedSh, combinedData, privData []byte
-	for off := 0; off < vm.PageSize; off++ {
-		wm := pg.data[off]
-		if wm == MetaLiveIn || wm == MetaOldWrite {
-			continue // untouched this interval / merged earlier
+	for w := 0; w < vm.PageSize; w += 8 {
+		// A word of untouched/old-write bytes contributes nothing to the
+		// merge; span-promoted checks leave long dense runs of such words,
+		// so the scan walks summaries eight bytes at a time.
+		if !wordTouched(binary.LittleEndian.Uint64(pg.data[w:])) {
+			continue
 		}
-		if combinedSh == nil {
-			combinedSh = cp.ownPage(cp.shadow, pg.base)
-			combinedData = cp.ownPage(cp.data, privBase)
-		}
-		newMeta, takeData, m := MergeByte(combinedSh[off], wm)
-		if m && missAddr == 0 {
-			missAddr = privBase + uint64(off)
-		}
-		combinedSh[off] = newMeta
-		if takeData {
-			if privData == nil {
-				if pd, have := ws.PageData(privBase); have {
-					privData = pd
-				} else {
-					privData = make([]byte, vm.PageSize)
-				}
+		for off := w; off < w+8; off++ {
+			wm := pg.data[off]
+			if wm == MetaLiveIn || wm == MetaOldWrite {
+				continue // untouched this interval / merged earlier
 			}
-			combinedData[off] = privData[off]
+			if combinedSh == nil {
+				combinedSh = cp.ownPage(cp.shadow, pg.base)
+				combinedData = cp.ownPage(cp.data, privBase)
+			}
+			newMeta, takeData, m := MergeByte(combinedSh[off], wm)
+			if m && missAddr == 0 {
+				missAddr = privBase + uint64(off)
+			}
+			combinedSh[off] = newMeta
+			if takeData {
+				if privData == nil {
+					if pd, have := ws.PageData(privBase); have {
+						privData = pd
+					} else {
+						privData = make([]byte, vm.PageSize)
+					}
+				}
+				combinedData[off] = privData[off]
+			}
 		}
 	}
 	return missAddr
@@ -284,7 +293,15 @@ func (cp *checkpoint) chain() []*checkpoint {
 // on a violation it is left partially folded, which is fine because
 // validation aborts the span.
 func carryValidatePage(prev, sh []byte) int {
-	for off, m := range sh {
+	for off := 0; off < len(sh); off++ {
+		// Only MetaLiveIn (0) bytes are no-ops here — an all-zero word can
+		// be skipped whole. (MetaOldWrite must still fold into prev.)
+		if off&7 == 0 && off+8 <= len(sh) &&
+			binary.LittleEndian.Uint64(sh[off:]) == 0 {
+			off += 7
+			continue
+		}
+		m := sh[off]
 		if m == MetaLiveIn {
 			continue
 		}
@@ -422,14 +439,27 @@ func (cp *checkpoint) installOwnDataInto(master *vm.AddressSpace) (int64, error)
 		if data == nil {
 			continue
 		}
-		for off, m := range sh {
-			if m < MetaTSBase {
+		off := 0
+		for off < len(sh) {
+			if off&7 == 0 && off+8 <= len(sh) &&
+				!wordHasTS(binary.LittleEndian.Uint64(sh[off:])) {
+				off += 8 // no surviving write in this word
 				continue
 			}
-			if err := master.Write(privBase+uint64(off), 1, uint64(data[off])); err != nil {
+			if sh[off] < MetaTSBase {
+				off++
+				continue
+			}
+			// Batch the contiguous run of surviving bytes into one write.
+			run := off + 1
+			for run < len(sh) && sh[run] >= MetaTSBase {
+				run++
+			}
+			if err := master.WriteBytes(privBase+uint64(off), data[off:run]); err != nil {
 				return bytes, err
 			}
-			bytes++
+			bytes += int64(run - off)
+			off = run
 		}
 	}
 	return bytes, nil

@@ -1,0 +1,112 @@
+package specrt
+
+import (
+	"testing"
+
+	"privateer/internal/interp"
+	"privateer/internal/ir"
+	"privateer/internal/vm"
+)
+
+// buildMemsetModule: for i in [0,n): memset(buf, i+1, len(buf)) with
+// len(buf) > PageSize, then read one of the filled bytes back. After the
+// loop, main loads words from both sides of the page boundary inside buf,
+// so the returned value observes whether the checkpoint merge committed
+// the *whole* privatized write-back — including the part of the fill that
+// lives on the second page.
+func buildMemsetModule(n int64) *ir.Module {
+	const bufSize = vm.PageSize + 256
+	m := ir.NewModule("memset")
+	buf := m.NewGlobal("buf", bufSize)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	b.For("i", b.I(0), b.I(n), func(iv *ir.Instr) {
+		b.MemSet(b.Global(buf), b.I(bufSize), b.Add(b.Ld(iv), b.I(1)))
+		// Read part of the fill back and store it again: the object is
+		// written-then-read every iteration, the privatization pattern.
+		v := b.Load(b.Add(b.Global(buf), b.I(vm.PageSize+128)), 8)
+		b.Store(v, b.Global(buf), 8)
+	})
+	lo := b.Load(b.Global(buf), 8)
+	hi := b.Load(b.Add(b.Global(buf), b.I(vm.PageSize+120)), 8)
+	b.Ret(b.Add(lo, hi))
+	for _, fn := range m.SortedFuncs() {
+		ir.PromoteAllocas(fn)
+	}
+	return m
+}
+
+// TestCrossPageMemsetCommitsSecondPage is the regression test for
+// first-page-only shadow marking: a private fill that straddles a page
+// boundary must mark shadow metadata on every page it touches, or the
+// merge silently drops the second page's bytes and the master's state
+// diverges from sequential execution after the loop.
+func TestCrossPageMemsetCommitsSecondPage(t *testing.T) {
+	const n = 9
+	seqIt := interp.New(buildMemsetModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildMemsetModule(n)
+	ri := buildRegion(t, mod)
+	rt := New(mod, Config{Workers: 4, CheckpointPeriod: 2}, ri)
+	got, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("speculative result %#x, want sequential %#x "+
+			"(second-page bytes of the fill were not committed)", got, want)
+	}
+	if rt.Stats.Misspecs != 0 {
+		t.Errorf("unexpected misspecs %d", rt.Stats.Misspecs)
+	}
+}
+
+// TestPrivRangeCrossPageShadow drives the worker's shadow-marking range
+// walk directly across a page boundary and checks every byte's metadata
+// lands, the neighbours stay untouched, and the second shadow page is
+// observed dirty.
+func TestPrivRangeCrossPageShadow(t *testing.T) {
+	as := vm.NewAddressSpace()
+	base, err := as.Alloc(ir.HeapPrivate, 2*vm.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{as: as, curTS: MetaTSBase}
+	// An 8-byte access with 3 bytes on the first page, 5 on the second.
+	pb := (base + vm.PageSize) &^ (vm.PageSize - 1)
+	addr := pb - 3
+	if err := w.privRange(addr, 8, true); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 8; k++ {
+		m, err := as.Read(ir.ShadowAddr(addr+k), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byte(m) != MetaTSBase {
+			t.Errorf("shadow byte %d (addr %#x): meta %#x, want ts %#x",
+				k, addr+k, m, MetaTSBase)
+		}
+	}
+	for _, nb := range []uint64{addr - 1, addr + 8} {
+		m, err := as.Read(ir.ShadowAddr(nb), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byte(m) != MetaLiveIn {
+			t.Errorf("neighbour %#x: meta %#x, want live-in", nb, m)
+		}
+	}
+	secondDirty := false
+	as.DirtyHeapPages(ir.HeapShadow, func(pageBase uint64, data []byte) {
+		if pageBase == ir.ShadowAddr(pb)&^uint64(vm.PageSize-1) {
+			secondDirty = true
+		}
+	})
+	if !secondDirty {
+		t.Error("second shadow page not dirty after cross-page private write")
+	}
+}

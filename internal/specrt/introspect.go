@@ -424,6 +424,24 @@ func (rt *RT) publishMetrics(reg *obs.Registry) {
 			ptDirty.Set(pt.DirtyPages)
 		}
 		depth.Set(rt.pipelineDepthNow())
+		for _, ri := range rt.regions {
+			ts := ri.TStats
+			for _, c := range []struct {
+				name string
+				n    int
+			}{
+				{"joined", ts.Joined},
+				{"eliminated", ts.Eliminated},
+				{"invariant", ts.InvPromoted},
+				{"dense", ts.DensePromoted},
+				{"sparse", ts.SparsePromoted},
+				{"redundant_uo", ts.HeapRedundantUO},
+			} {
+				reg.Counter("privateer_postprocess_sites_total",
+					"Check sites rewritten by the transform postprocess pass, by category (static).",
+					"region", ri.Outline.LoopName, "category", c.name).Set(int64(c.n))
+			}
+		}
 		for _, r := range rt.MisspecSites() {
 			reg.Counter("privateer_misspec_site_total",
 				"Misspeculations attributed to one owning allocation site.",

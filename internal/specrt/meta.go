@@ -30,6 +30,24 @@ const MaxCheckpointPeriod = 253
 // TimestampFor encodes iteration iter relative to checkpoint base i0.
 func TimestampFor(iter, i0 int64) byte { return byte(MetaTSBase + byte(iter-i0)) }
 
+// wordHasTS reports whether any byte of the little-endian metadata word w
+// is a timestamp (>= MetaTSBase). Bulk shadow scans use it to skip eight
+// untouched-or-old-write bytes at a time: the first term catches any byte
+// with a bit above position 1 set (value >= 4), the second catches the
+// only remaining >= 3 pattern, 0b11. The shifted cross-lane bits cannot
+// produce a false positive because they land outside the 0x01 lane mask
+// unless bit 1 of the same byte is set.
+func wordHasTS(w uint64) bool {
+	return w&0xFCFCFCFCFCFCFCFC != 0 || w&(w>>1)&0x0101010101010101 != 0
+}
+
+// wordTouched reports whether any byte of the little-endian metadata word
+// w records a speculative access (anything but MetaLiveIn=0b00 and
+// MetaOldWrite=0b01): some byte has a bit above position 0 set.
+func wordTouched(w uint64) bool {
+	return w&0xFEFEFEFEFEFEFEFE != 0
+}
+
 // ReadTransition implements the "Read" rows of Table 2: given the byte's
 // metadata and the current iteration timestamp, it returns the new metadata
 // and whether the access misspeculates (a loop-carried flow dependence was

@@ -1,6 +1,7 @@
 package specrt
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -389,6 +390,32 @@ func (w *worker) installHooks() {
 		atomic.AddInt64(&rt.Stats.PrivWriteChecks, 1)
 		return err
 	}
+	h.PrivateReadSpan = func(in *ir.Instr, addr uint64, count, stride, size int64) error {
+		t0 := time.Now()
+		err := w.privSpan(addr, count, stride, size, false)
+		bytes := count * size
+		if bytes < 0 {
+			bytes = 0
+		}
+		w.simPrivRead += bytes * SimPrivacyPerByte
+		atomic.AddInt64(&rt.Stats.PrivReadNS, int64(time.Since(t0)))
+		atomic.AddInt64(&rt.Stats.PrivReadBytes, bytes)
+		atomic.AddInt64(&rt.Stats.PrivReadChecks, 1)
+		return err
+	}
+	h.PrivateWriteSpan = func(in *ir.Instr, addr uint64, count, stride, size int64) error {
+		t0 := time.Now()
+		err := w.privSpan(addr, count, stride, size, true)
+		bytes := count * size
+		if bytes < 0 {
+			bytes = 0
+		}
+		w.simPrivWrite += bytes * SimPrivacyPerByte
+		atomic.AddInt64(&rt.Stats.PrivWriteNS, int64(time.Since(t0)))
+		atomic.AddInt64(&rt.Stats.PrivWriteBytes, bytes)
+		atomic.AddInt64(&rt.Stats.PrivWriteChecks, 1)
+		return err
+	}
 	h.CheckHeap = func(in *ir.Instr, addr uint64) error {
 		atomic.AddInt64(&rt.Stats.SeparationChecks, 1)
 		w.simOther += SimSeparationCheck
@@ -420,29 +447,67 @@ func (w *worker) installHooks() {
 	}
 }
 
-// privAccess applies Table 2 transitions to every byte of the access.
+// privAccess applies Table 2 transitions to every byte of the access. An
+// access that straddles a page boundary marks metadata on every page it
+// touches; privRange splits the run per page.
 func (w *worker) privAccess(addr uint64, size int64, isWrite bool) error {
-	for b := addr; b < addr+uint64(size); b++ {
-		sh := ir.ShadowAddr(b)
-		meta, err := w.as.Read(sh, 1)
+	return w.privRange(addr, size, isWrite)
+}
+
+// privSpan applies Table 2 transitions for a span op: count elements of
+// size bytes each, consecutive elements stride bytes apart. A dense span
+// (stride == size) collapses to one contiguous range; count <= 0 is a
+// no-op, which lets promoted checks use a dynamically computed trip count
+// without proving the loop is entered.
+func (w *worker) privSpan(addr uint64, count, stride, size int64, isWrite bool) error {
+	if count <= 0 || size <= 0 {
+		return nil
+	}
+	if stride == size {
+		return w.privRange(addr, count*size, isWrite)
+	}
+	for k := int64(0); k < count; k++ {
+		if err := w.privRange(addr+uint64(k)*uint64(stride), size, isWrite); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// privRange marks [addr, addr+n) with one page-table resolution per shadow
+// page instead of one per byte: the page is pinned writable once and the
+// transitions run over its backing slice directly.
+func (w *worker) privRange(addr uint64, n int64, isWrite bool) error {
+	for n > 0 {
+		sh := ir.ShadowAddr(addr)
+		off := int64(sh & (vm.PageSize - 1))
+		chunk := int64(vm.PageSize) - off
+		if chunk > n {
+			chunk = n
+		}
+		data, err := w.as.WritablePage(sh)
 		if err != nil {
 			return err
 		}
-		var newMeta byte
-		var miss bool
-		if isWrite {
-			newMeta, miss = WriteTransition(byte(meta), w.curTS)
-		} else {
-			newMeta, miss = ReadTransition(byte(meta), w.curTS)
-		}
-		if miss {
-			return &interp.MisspecError{Reason: "privacy violated (fast phase)", Addr: b}
-		}
-		if newMeta != byte(meta) {
-			if err := w.as.Write(sh, 1, uint64(newMeta)); err != nil {
-				return err
+		seg := data[off : off+chunk]
+		for i := range seg {
+			m := seg[i]
+			var newMeta byte
+			var miss bool
+			if isWrite {
+				newMeta, miss = WriteTransition(m, w.curTS)
+			} else {
+				newMeta, miss = ReadTransition(m, w.curTS)
+			}
+			if miss {
+				return &interp.MisspecError{Reason: "privacy violated (fast phase)", Addr: addr + uint64(i)}
+			}
+			if newMeta != m {
+				seg[i] = newMeta
 			}
 		}
+		addr += uint64(chunk)
+		n -= chunk
 	}
 	return nil
 }
@@ -450,12 +515,17 @@ func (w *worker) privAccess(addr uint64, size int64, isWrite bool) error {
 // resetShadow collapses the worker's timestamps to old-write after a
 // checkpoint contribution. The dirty walk covers every shadow page (all of
 // them are worker-created, hence dirty) without scanning the rest of the
-// footprint.
+// footprint; words holding no timestamp are skipped eight bytes at a time.
 func (w *worker) resetShadow() {
 	w.as.DirtyHeapPages(ir.HeapShadow, func(base uint64, data []byte) {
-		for i, m := range data {
-			if m >= MetaTSBase {
-				data[i] = MetaOldWrite
+		for i := 0; i < len(data); i += 8 {
+			if !wordHasTS(binary.LittleEndian.Uint64(data[i:])) {
+				continue
+			}
+			for j := i; j < i+8; j++ {
+				if data[j] >= MetaTSBase {
+					data[j] = MetaOldWrite
+				}
 			}
 		}
 	})

@@ -53,6 +53,50 @@ type Stats struct {
 	// SitesPerHeap counts static allocation sites (globals + dynamic
 	// sites) per assigned heap.
 	SitesPerHeap map[ir.HeapKind]int
+
+	// Postprocess-pass counters; the names mirror the reference
+	// compiler's Postprocess.cpp STATISTICs.
+
+	// Joined counts privacy checks folded into an adjacent span
+	// (numJoined).
+	Joined int
+	// Eliminated counts privacy checks removed because a dominating
+	// check on the same address covers them (numEliminated).
+	Eliminated int
+	// InvPromoted counts loop-invariant checks hoisted to a preheader
+	// (numInvPromoted).
+	InvPromoted int
+	// DensePromoted and SparsePromoted count affine per-iteration
+	// checks replaced by one preheader span, unit-stride or strided
+	// (numDensePromoted / numSparsePromoted).
+	DensePromoted  int
+	SparsePromoted int
+	// HeapRedundantUO counts separation checks removed because an
+	// earlier check covers the same underlying object
+	// (numHeapRedundantUO).
+	HeapRedundantUO int
+}
+
+// PostprocessSummary renders the postprocess-pass counters in a fixed
+// order, for logs and the dump tool.
+func (s *Stats) PostprocessSummary() string {
+	return fmt.Sprintf("joined=%d eliminated=%d invariant=%d dense=%d sparse=%d redundant-uo=%d",
+		s.Joined, s.Eliminated, s.InvPromoted, s.DensePromoted, s.SparsePromoted, s.HeapRedundantUO)
+}
+
+// SitesSummary renders SitesPerHeap deterministically, in heap-kind
+// order (map iteration order would jitter between runs).
+func (s *Stats) SitesSummary() string {
+	var parts []string
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		if n := s.SitesPerHeap[h]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", h, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }
 
 // Extras renders the Table 3 "Extras" column.
@@ -92,6 +136,9 @@ type Options struct {
 	// DisableElision inserts every separation check, even those static
 	// analysis proves (quantifies the value of check elision).
 	DisableElision bool
+	// DisablePostprocess skips the elision & promotion pass that runs
+	// after check insertion (quantifies its value).
+	DisablePostprocess bool
 }
 
 // Apply performs the full privatizing transformation for loop l of mod.
@@ -114,6 +161,9 @@ func ApplyOpts(mod *ir.Module, l *ir.Loop, prof *profiling.Profile,
 	tr.replaceAllocation()
 	tr.insertChecks()
 	tr.insertColdGuards()
+	if !opts.DisablePostprocess {
+		tr.postprocess()
+	}
 	if err := ir.Verify(mod); err != nil {
 		return nil, fmt.Errorf("transform: broken module: %w", err)
 	}
@@ -443,7 +493,16 @@ func (tr *transformer) insertChecks() {
 				return
 			}
 			if h == ir.HeapPrivate && size > 0 {
-				if isWrite {
+				if in.Op == ir.OpMemSet {
+					// A memset covers Args[1] bytes, not one fixed-size
+					// word: mark the whole span (a fixed-width check here
+					// would leave the tail bytes unwatched).
+					one := makeConst(bld, 1, ir.I64)
+					span := makeSpan(bld, ir.OpPrivateWriteSpan, addr, in.Args[1], one, 1)
+					tr.queueInsert(in, false, one)
+					tr.queueInsert(in, false, span)
+					tr.stats.PrivacyWrites++
+				} else if isWrite {
 					pw := makePriv(bld, ir.OpPrivateWrite, addr, size)
 					tr.queueInsert(in, false, pw)
 					tr.stats.PrivacyWrites++

@@ -67,9 +67,9 @@ func (o *HeapOccupancy) free(h ir.HeapKind, rounded uint64) {
 // operations (heap reset, checkpoint install) replace the heap wholesale.
 func (o *HeapOccupancy) resync(h ir.HeapKind, hs *heapState) {
 	var bytes int64
-	for _, sz := range hs.objects {
+	hs.eachObject(func(_, sz uint64) {
 		bytes += int64(sz)
-	}
+	})
 	atomic.StoreInt64(&o.liveBytes[h], bytes)
 	atomic.StoreInt64(&o.liveObjs[h], int64(hs.liveCount))
 	atomic.StoreInt64(&o.allocBytes[h], int64(hs.allocBytes))

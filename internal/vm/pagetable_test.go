@@ -74,6 +74,74 @@ func TestCloneCostIndependentOfLiveObjects(t *testing.T) {
 	}
 }
 
+// TestPostCloneMutationCostIndependentOfLiveObjects pins the other half of
+// the lazy allocator clone (the per-span reset cost this PR fixes): the
+// FIRST Alloc/Free after a clone must not deep-copy the shared free/objects
+// maps, so its cost is independent of how many objects the parent holds
+// live. The overlay chain makes the whole clone+mutate cycle O(1).
+func TestPostCloneMutationCostIndependentOfLiveObjects(t *testing.T) {
+	cycleAllocs := func(liveObjects int) float64 {
+		parent := NewAddressSpace()
+		for i := 0; i < liveObjects; i++ {
+			if _, err := parent.Alloc(ir.HeapPrivate, 64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(20, func() {
+			child := parent.Clone()
+			a, err := child.Alloc(ir.HeapPrivate, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := child.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := cycleAllocs(20), cycleAllocs(20000)
+	if small != large {
+		t.Errorf("post-clone mutation allocations grew with live objects: %v (20 objects) vs %v (20000 objects)",
+			small, large)
+	}
+
+	// Functional check across the overlay chain: LIFO free-list order must
+	// hold through clone boundaries and tombstoned reallocation.
+	parent := NewAddressSpace()
+	var a [4]uint64
+	for i := range a {
+		a[i], _ = parent.Alloc(ir.HeapPrivate, 48)
+	}
+	parent.Free(a[3])
+	parent.Free(a[2]) // parent free list (oldest first): a3, a2
+	child := parent.Clone()
+	if got, _ := child.Alloc(ir.HeapPrivate, 48); got != a[2] {
+		t.Errorf("child pop 1 = %#x, want %#x (LIFO through the shared base)", got, a[2])
+	}
+	grand := child.Clone() // chain depth 2: child's consumption must carry over
+	if got, _ := grand.Alloc(ir.HeapPrivate, 48); got != a[3] {
+		t.Errorf("grandchild pop = %#x, want %#x (consumption not inherited)", got, a[3])
+	}
+	grand.Free(a[0]) // tombstone a base object, then reallocate it
+	if got, _ := grand.Alloc(ir.HeapPrivate, 48); got != a[0] {
+		t.Errorf("tombstoned base object not reallocated: got %#x, want %#x", got, a[0])
+	}
+	if grand.ObjectSize(a[0]) == 0 {
+		t.Error("reallocated object reads as dead through the tombstone")
+	}
+	// The parent still sees its own free list untouched by descendants.
+	if got, _ := parent.Alloc(ir.HeapPrivate, 48); got != a[2] {
+		t.Errorf("parent pop disturbed by descendants: got %#x, want %#x", got, a[2])
+	}
+	// A heap reset stays O(1) and fully detaches from the shared chain.
+	resetAllocs := testing.AllocsPerRun(20, func() { child.ResetHeap(ir.HeapPrivate) })
+	if resetAllocs > 4 {
+		t.Errorf("ResetHeap allocates %v times, want O(1)", resetAllocs)
+	}
+	if child.LiveObjects(ir.HeapPrivate) != 0 {
+		t.Errorf("reset heap still reports %d live objects", child.LiveObjects(ir.HeapPrivate))
+	}
+}
+
 // TestAllocatorSharingIsCopiedBeforeMutation exercises the parent-side half
 // of the lazy allocator clone: the parent allocating after a clone must not
 // disturb the child's shared view.

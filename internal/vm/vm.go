@@ -70,86 +70,200 @@ type pageEntry struct {
 	cow bool
 }
 
-// heapState is the allocator state of one logical heap.
+// allocBase is an immutable, shareable snapshot of allocator state: one node
+// of a copy-on-write overlay chain. A clone (or a freeze before a clone)
+// seals the mutable delta maps of a heapState into a new node, which both
+// sides then read through without ever mutating — so post-clone allocator
+// mutations cost O(1) in the number of live objects, not O(live) as a deep
+// copy would.
+type allocBase struct {
+	// parent is the next-older snapshot; nil terminates the chain.
+	parent *allocBase
+	// free holds the free-list entries added at this level (newest at the
+	// end, as the LIFO allocator appends them).
+	free map[uint64][]uint64
+	// used counts, per size class, how many entries this level had consumed
+	// from the END of the parent chain's virtual free list at freeze time.
+	used map[uint64]int
+	// objects holds allocations made at this level; dead tombstones objects
+	// of DEEPER levels freed at this level. Within one level objects wins
+	// (a tombstoned address can be handed out again by a later Alloc).
+	objects map[uint64]uint64
+	dead    map[uint64]bool
+	// depth is the chain length at this node, bounded by maxChainDepth via
+	// amortized flattening.
+	depth int
+}
+
+// maxChainDepth bounds overlay-chain walks; freezing past it flattens the
+// state first (amortized across the mutations that grew the chain).
+const maxChainDepth = 8
+
+// entryFromEnd returns the (k+1)-th entry from the end of the chain's
+// virtual free list for size class r, where the virtual list is the parent's
+// list minus the entries this node had consumed, with this node's own frees
+// stacked on top.
+func (b *allocBase) entryFromEnd(r uint64, k int) (uint64, bool) {
+	for b != nil {
+		lst := b.free[r]
+		if k < len(lst) {
+			return lst[len(lst)-1-k], true
+		}
+		k += b.used[r] - len(lst)
+		b = b.parent
+	}
+	return 0, false
+}
+
+// heapState is the allocator state of one logical heap: an optional
+// immutable base chain plus private delta maps (allocated lazily, so a
+// fresh post-clone state is a few words).
 type heapState struct {
 	// brk is the bump pointer (next unallocated address).
 	brk uint64
-	// free maps a rounded size class to a free list of addresses.
+	// base is the shared immutable snapshot chain; nil for a flat state.
+	base *allocBase
+	// free maps a rounded size class to the free list of addresses released
+	// at this level (private, mutable).
 	free map[uint64][]uint64
-	// objects tracks live allocations (address -> size) for free() and
-	// for object-count queries.
+	// used counts per size class how many entries of base's virtual free
+	// list this state has consumed (private, mutable).
+	used map[uint64]int
+	// objects tracks allocations made at this level; dead tombstones base
+	// objects freed at this level.
 	objects map[uint64]uint64
-	// liveCount is the number of live allocations (len(objects), cached
-	// for hot paths).
+	dead    map[uint64]bool
+	// liveCount is the number of live allocations across base and deltas.
 	liveCount int
 	// allocBytes totals bytes ever allocated from this heap.
 	allocBytes uint64
-	// shared marks free/objects as referenced by another heapState (lazy
-	// clone): they are then read-only, and own() replaces them with private
-	// copies before the first Alloc/Free mutation.
-	shared bool
 }
 
 func newHeapState(h ir.HeapKind) *heapState {
 	return &heapState{
 		// Skip the first page so address 0 (and small offsets) stay
 		// unmapped: null-pointer dereferences must fault.
-		brk:     h.Base() + PageSize,
-		free:    map[uint64][]uint64{},
-		objects: map[uint64]uint64{},
+		brk: h.Base() + PageSize,
 	}
 }
 
-// clone duplicates the allocator state. The lazy default shares the free
-// and objects maps between both sides (marking them read-only until a
-// mutation owns them), so cloning costs O(1) regardless of how many objects
-// are live; eager deep-copies everything up front, preserving the old
-// flat-table cost profile for the EagerClone baseline.
-func (hs *heapState) clone(eager bool) *heapState {
-	if !eager {
-		hs.shared = true
-		return &heapState{
-			brk:        hs.brk,
-			free:       hs.free,
-			objects:    hs.objects,
-			liveCount:  hs.liveCount,
-			allocBytes: hs.allocBytes,
-			shared:     true,
-		}
-	}
-	c := &heapState{
-		brk:        hs.brk,
-		free:       make(map[uint64][]uint64, len(hs.free)),
-		objects:    make(map[uint64]uint64, len(hs.objects)),
-		liveCount:  hs.liveCount,
-		allocBytes: hs.allocBytes,
-	}
-	for k, v := range hs.free {
-		c.free[k] = append([]uint64(nil), v...)
-	}
-	for k, v := range hs.objects {
-		c.objects[k] = v
-	}
-	return c
-}
-
-// own gives a heapState sharing its maps private copies — the deferred half
-// of the lazy allocator clone, run before the first mutation. Free-list
-// slices are deep-copied too: appending through a shared backing array
-// would be visible to (and race with) the other side.
-func (hs *heapState) own() {
-	if !hs.shared {
+// freeze seals this state's delta maps into a new immutable chain node, so
+// a clone may share them. O(1): the maps move into the node unchanged and
+// the state continues with empty deltas. A state with nothing new since the
+// last freeze is reused as-is.
+func (hs *heapState) freeze() {
+	if hs.base != nil && len(hs.free) == 0 && len(hs.used) == 0 &&
+		len(hs.objects) == 0 && len(hs.dead) == 0 {
 		return
 	}
-	free := make(map[uint64][]uint64, len(hs.free))
-	for k, v := range hs.free {
-		free[k] = append([]uint64(nil), v...)
+	if hs.base != nil && hs.base.depth >= maxChainDepth {
+		hs.flatten()
 	}
-	objects := make(map[uint64]uint64, len(hs.objects))
-	for k, v := range hs.objects {
-		objects[k] = v
+	depth := 1
+	if hs.base != nil {
+		depth = hs.base.depth + 1
 	}
-	hs.free, hs.objects, hs.shared = free, objects, false
+	hs.base = &allocBase{parent: hs.base, free: hs.free, used: hs.used,
+		objects: hs.objects, dead: hs.dead, depth: depth}
+	hs.free, hs.used, hs.objects, hs.dead = nil, nil, nil, nil
+}
+
+// flatMaps materializes the fully resolved free and objects maps without
+// mutating the state (oldest chain node first, each level's consumptions
+// trimmed and frees appended; tombstones applied before same-level
+// reallocations).
+func (hs *heapState) flatMaps() (map[uint64][]uint64, map[uint64]uint64) {
+	var chain []*allocBase
+	for b := hs.base; b != nil; b = b.parent {
+		chain = append(chain, b)
+	}
+	free := map[uint64][]uint64{}
+	objects := map[uint64]uint64{}
+	level := func(lfree map[uint64][]uint64, used map[uint64]int,
+		lobjects map[uint64]uint64, dead map[uint64]bool) {
+		for r, k := range used {
+			free[r] = free[r][:len(free[r])-k]
+		}
+		for r, lst := range lfree {
+			free[r] = append(free[r], lst...)
+		}
+		for a := range dead {
+			delete(objects, a)
+		}
+		for a, s := range lobjects {
+			objects[a] = s
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		b := chain[i]
+		level(b.free, b.used, b.objects, b.dead)
+	}
+	level(hs.free, hs.used, hs.objects, hs.dead)
+	return free, objects
+}
+
+// flatten collapses the overlay chain into flat private maps.
+func (hs *heapState) flatten() {
+	hs.free, hs.objects = hs.flatMaps()
+	hs.base, hs.used, hs.dead = nil, nil, nil
+}
+
+// clone duplicates the allocator state. The lazy default freezes the delta
+// maps into an immutable shared base (O(1) regardless of how many objects
+// are live — and, unlike the earlier map-sharing scheme, the first
+// post-clone Alloc/Free is O(1) too, reading through the base instead of
+// deep-copying it); eager materializes a full flat copy up front, preserving
+// the old cost profile for the EagerClone baseline.
+func (hs *heapState) clone(eager bool) *heapState {
+	if eager {
+		free, objects := hs.flatMaps()
+		return &heapState{brk: hs.brk, free: free, objects: objects,
+			liveCount: hs.liveCount, allocBytes: hs.allocBytes}
+	}
+	hs.freeze()
+	return &heapState{brk: hs.brk, base: hs.base,
+		liveCount: hs.liveCount, allocBytes: hs.allocBytes}
+}
+
+// objectSize resolves addr through the delta maps and the base chain,
+// returning its rounded size if live.
+func (hs *heapState) objectSize(addr uint64) (uint64, bool) {
+	if sz, ok := hs.objects[addr]; ok {
+		return sz, true
+	}
+	if hs.dead[addr] {
+		return 0, false
+	}
+	for b := hs.base; b != nil; b = b.parent {
+		if sz, ok := b.objects[addr]; ok {
+			return sz, true
+		}
+		if b.dead[addr] {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// eachObject visits every live object once: newest level first, tombstoned
+// and shadowed deeper entries skipped.
+func (hs *heapState) eachObject(visit func(addr, size uint64)) {
+	seen := map[uint64]bool{}
+	level := func(objects map[uint64]uint64, dead map[uint64]bool) {
+		for a, s := range objects {
+			if !seen[a] {
+				seen[a] = true
+				visit(a, s)
+			}
+		}
+		for a := range dead {
+			seen[a] = true
+		}
+	}
+	level(hs.objects, hs.dead)
+	for b := hs.base; b != nil; b = b.parent {
+		level(b.objects, b.dead)
+	}
 }
 
 // Stats counts memory-system events, exposed for the paper's overhead
@@ -534,18 +648,27 @@ func (as *AddressSpace) Alloc(h ir.HeapKind, size uint64) (uint64, error) {
 		size = 1
 	}
 	hs := as.heaps[h]
-	hs.own()
 	rounded := (size + allocAlign - 1) &^ uint64(allocAlign-1)
 	var addr uint64
 	if lst := hs.free[rounded]; len(lst) > 0 {
+		// Most recently freed first (LIFO), private frees before base ones.
 		addr = lst[len(lst)-1]
 		hs.free[rounded] = lst[:len(lst)-1]
+	} else if a, ok := hs.base.entryFromEnd(rounded, hs.used[rounded]); ok {
+		addr = a
+		if hs.used == nil {
+			hs.used = map[uint64]int{}
+		}
+		hs.used[rounded]++
 	} else {
 		addr = hs.brk
 		hs.brk += rounded
 		if ir.HeapOf(hs.brk) != h {
 			return 0, fmt.Errorf("vm: heap %s exhausted (16 TB)", h)
 		}
+	}
+	if hs.objects == nil {
+		hs.objects = map[uint64]uint64{}
 	}
 	hs.objects[addr] = rounded
 	hs.liveCount++
@@ -561,13 +684,22 @@ func (as *AddressSpace) Alloc(h ir.HeapKind, size uint64) (uint64, error) {
 func (as *AddressSpace) Free(addr uint64) error {
 	h := ir.HeapOf(addr)
 	hs := as.heaps[h]
-	rounded, live := hs.objects[addr]
+	rounded, live := hs.objectSize(addr)
 	if !live {
 		return fmt.Errorf("vm: free of non-allocated address %#x (%s heap)", addr, h)
 	}
-	hs.own()
-	delete(hs.objects, addr)
+	if _, own := hs.objects[addr]; own {
+		delete(hs.objects, addr)
+	} else {
+		if hs.dead == nil {
+			hs.dead = map[uint64]bool{}
+		}
+		hs.dead[addr] = true
+	}
 	hs.liveCount--
+	if hs.free == nil {
+		hs.free = map[uint64][]uint64{}
+	}
 	hs.free[rounded] = append(hs.free[rounded], addr)
 	if as.Occ != nil {
 		as.Occ.free(h, rounded)
@@ -577,7 +709,8 @@ func (as *AddressSpace) Free(addr uint64) error {
 
 // ObjectSize returns the rounded size of the live object at addr, or 0.
 func (as *AddressSpace) ObjectSize(addr uint64) uint64 {
-	return as.heaps[ir.HeapOf(addr)].objects[addr]
+	sz, _ := as.heaps[ir.HeapOf(addr)].objectSize(addr)
+	return sz
 }
 
 // LiveObjects returns the number of live allocations in heap h, used to
@@ -688,6 +821,23 @@ func (as *AddressSpace) DirtyHeapPages(h ir.HeapKind, visit func(base uint64, da
 			})
 		}
 	}
+}
+
+// WritablePage returns the full, privately owned page containing addr,
+// instantiating it and resolving copy-on-write as a store would. The shadow
+// layer uses it to batch whole-page metadata updates (span privacy marks,
+// checkpoint resets) into one translation instead of one per byte. The
+// slice aliases live memory and must not be retained across Clone/SetProt.
+func (as *AddressSpace) WritablePage(addr uint64) ([]byte, error) {
+	// A write-TLB hit proves the page is privately owned and writable.
+	pn := addr >> PageShift
+	if e := &as.wtlb[pn&(tlbSize-1)]; e.pn == pn && e.pg != nil {
+		return e.pg.data[:], nil
+	}
+	if err := as.checkProt(addr, 1, true); err != nil {
+		return nil, err
+	}
+	return as.pageFor(addr, true).data[:], nil
 }
 
 // PageData returns the contents of the page containing addr without
