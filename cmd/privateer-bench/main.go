@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, scale, elision, or obsoverhead")
+			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, scale, elision, staticsep, or obsoverhead")
 		input     = flag.String("input", "", "input class override: train, ref, alt, huge")
 		quick     = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
 		programs  = flag.String("programs", "", "comma-separated subset of benchmarks")
@@ -48,7 +48,7 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 	}
 	if input != "" {
 		cfg.Input = input
-	} else if (experiment == "scale" || experiment == "elision") && !quick {
+	} else if (experiment == "scale" || experiment == "elision" || experiment == "staticsep") && !quick {
 		// These experiments exist to exercise the ~100x inputs.
 		cfg.Input = "huge"
 	}
@@ -146,6 +146,18 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 	}
 	if experiment == "elision" {
 		rep, err := bench.RunElision(cfg, quick)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(rep.JSON())
+		} else {
+			fmt.Println(rep.Format())
+		}
+		return nil
+	}
+	if experiment == "staticsep" {
+		rep, err := bench.RunStaticSep(cfg, quick)
 		if err != nil {
 			return err
 		}

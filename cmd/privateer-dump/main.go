@@ -9,12 +9,14 @@
 //	privateer-dump -prog dijkstra -ir
 //	privateer-dump -prog enc-md5 -profile
 //	privateer-dump -prog enc-md5 -input huge -pagetable
+//	privateer-dump -prog enc-md5 -sep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"privateer/internal/core"
 	"privateer/internal/interp"
@@ -34,9 +36,10 @@ func main() {
 		profile  = flag.Bool("profile", false, "dump hot loops and carried dependences")
 		ptable   = flag.Bool("pagetable", false, "run the program sequentially and dump radix page-table occupancy and dirty-summary stats")
 		elision  = flag.Bool("elision", false, "dump the postprocess pass's per-category elision & promotion counters")
+		sep      = flag.Bool("sep", false, "dump the static separation prover's per-region proofs and discharged-machinery counters")
 	)
 	flag.Parse()
-	if err := run(*progName, *input, *showIR, *heaps, *profile, *ptable, *elision, *outFile); err != nil {
+	if err := run(*progName, *input, *showIR, *heaps, *profile, *ptable, *elision, *sep, *outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-dump:", err)
 		os.Exit(1)
 	}
@@ -68,7 +71,7 @@ func dumpPageTable(p *progs.Program, in progs.Input) error {
 	return nil
 }
 
-func run(progName, input string, showIR, heaps, profile, ptable, elision bool, outFile string) error {
+func run(progName, input string, showIR, heaps, profile, ptable, elision, sep bool, outFile string) error {
 	p := progs.ByName(progName)
 	if p == nil {
 		return fmt.Errorf("unknown program %q", progName)
@@ -91,11 +94,11 @@ func run(progName, input string, showIR, heaps, profile, ptable, elision bool, o
 			return err
 		}
 		fmt.Printf("wrote %s (%s, %s input)\n", outFile, p.Name, in)
-		if !showIR && !heaps && !profile && !ptable && !elision {
+		if !showIR && !heaps && !profile && !ptable && !elision && !sep {
 			return nil
 		}
 	}
-	if !showIR && !heaps && !profile && !ptable && !elision {
+	if !showIR && !heaps && !profile && !ptable && !elision && !sep {
 		heaps = true // default view
 	}
 
@@ -123,7 +126,7 @@ func run(progName, input string, showIR, heaps, profile, ptable, elision bool, o
 		fmt.Println()
 	}
 
-	if !showIR && !heaps && !elision {
+	if !showIR && !heaps && !elision && !sep {
 		return nil
 	}
 	var before string
@@ -161,6 +164,20 @@ func run(progName, input string, showIR, heaps, profile, ptable, elision bool, o
 			fmt.Printf("    sparse        %6d  (affine strided checks promoted to spans)\n", st.SparsePromoted)
 			fmt.Printf("    redundant-uo  %6d  (separation checks on a checked underlying object)\n", st.HeapRedundantUO)
 			fmt.Printf("    sites: %s\n", st.SitesSummary())
+		}
+	}
+	if sep {
+		fmt.Printf("static separation proofs of %s (%s):\n", p.Name, in)
+		for _, ri := range par.Regions {
+			fmt.Printf("  region %s:\n", ri.Outline.LoopName)
+			if ri.Assign.Sep == nil {
+				fmt.Println("    (prover did not run)")
+				continue
+			}
+			for _, line := range strings.Split(strings.TrimRight(ri.Assign.Sep.Summary(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+			fmt.Printf("    %s\n", ri.TStats.SepSummary())
 		}
 	}
 	if showIR {

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"testing"
+
+	"privateer/internal/ir"
+	"privateer/internal/profiling"
+)
+
+// These tests pin MayAlias's conservative contract: any query involving an
+// opaque value (one whose points-to set degenerates to Unknown) must answer
+// "may alias", including across function boundaries. The separation prover
+// builds directly on this guarantee — a proof is only attempted when every
+// involved set is Unknown-free.
+
+// buildMayAliasModule: main allocates two objects and passes one to a
+// callee; the callee also receives an integer forged into a pointer, which
+// stays opaque.
+func buildMayAliasModule(t *testing.T) (*ir.Module, map[string]ir.Value) {
+	t.Helper()
+	m := ir.NewModule("alias")
+	vals := map[string]ir.Value{}
+
+	callee := m.NewFunc("callee", ir.Void)
+	pIn := callee.NewParam("p", ir.Ptr)
+	{
+		b := ir.NewBuilder(callee)
+		b.Store(b.I(1), pIn, 8)
+		b.Ret()
+	}
+	vals["callee.p"] = pIn
+
+	// A function that is never called: its parameter has no inflow and
+	// stays fully unknown.
+	orphan := m.NewFunc("orphan", ir.Void)
+	q1 := orphan.NewParam("q1", ir.Ptr)
+	q2 := orphan.NewParam("q2", ir.Ptr)
+	{
+		b := ir.NewBuilder(orphan)
+		b.Ret()
+	}
+	vals["orphan.q1"] = q1
+	vals["orphan.q2"] = q2
+
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	a1 := b.Malloc("a1", b.I(32))
+	a2 := b.Malloc("a2", b.I(32))
+	b.Call(callee, a1)
+	b.Ret(b.I(0))
+	vals["main.a1"] = a1
+	vals["main.a2"] = a2
+
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, vals
+}
+
+func TestMayAliasUnknownToUnknown(t *testing.T) {
+	m, vals := buildMayAliasModule(t)
+	pt := ComputePointsTo(m)
+	orphan := m.Funcs["orphan"]
+	// Both parameters are opaque; the only safe answer is "may alias",
+	// even though nothing connects them.
+	if !pt.MayAlias(orphan, vals["orphan.q1"], orphan, vals["orphan.q2"]) {
+		t.Error("two unknown values must conservatively may-alias")
+	}
+	if set := pt.ValueObjects(orphan, vals["orphan.q1"]); !set[Unknown] {
+		t.Errorf("orphan parameter should be Unknown, got %v", set.Names())
+	}
+}
+
+func TestMayAliasUnknownToKnown(t *testing.T) {
+	m, vals := buildMayAliasModule(t)
+	pt := ComputePointsTo(m)
+	orphan, main := m.Funcs["orphan"], m.Funcs["main"]
+	// An unknown value may alias any known allocation, in either argument
+	// order.
+	if !pt.MayAlias(orphan, vals["orphan.q1"], main, vals["main.a1"]) {
+		t.Error("unknown vs known must conservatively may-alias")
+	}
+	if !pt.MayAlias(main, vals["main.a2"], orphan, vals["orphan.q2"]) {
+		t.Error("known vs unknown must conservatively may-alias")
+	}
+}
+
+func TestMayAliasCrossFunction(t *testing.T) {
+	m, vals := buildMayAliasModule(t)
+	pt := ComputePointsTo(m)
+	callee, main := m.Funcs["callee"], m.Funcs["main"]
+	// a1 flows into the callee parameter: the cross-function query must see
+	// the overlap.
+	if !pt.MayAlias(callee, vals["callee.p"], main, vals["main.a1"]) {
+		t.Error("callee parameter must alias the argument passed to it")
+	}
+	// a2 never escapes main, so the resolved parameter and a2 are disjoint.
+	if pt.MayAlias(callee, vals["callee.p"], main, vals["main.a2"]) {
+		t.Error("callee parameter must not alias an allocation never passed in")
+	}
+	// Sanity: the parameter's set is Unknown-free (pinning that the
+	// cross-function "no alias" answer above rests on real resolution, not
+	// an accidental empty set).
+	set := pt.ValueObjects(callee, vals["callee.p"])
+	if set[Unknown] {
+		t.Errorf("callee parameter should be resolved, got %v", set.Names())
+	}
+	if a1 := vals["main.a1"].(*ir.Instr); !set[profiling.Object{Site: a1}] {
+		t.Errorf("callee parameter should include a1's site, got %v", set.Names())
+	}
+}

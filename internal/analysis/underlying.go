@@ -1,0 +1,40 @@
+package analysis
+
+import "privateer/internal/ir"
+
+// UnderlyingObject strips constant-preserving address arithmetic down to
+// the base SSA value: the allocation or global whose heap tag every
+// derived interior pointer shares. The walk follows ptr/int casts and the
+// pointer-typed side of add/sub chains, and stops conservatively at
+// anything that could change the underlying object — phi, select, loads,
+// calls, or integer-only arithmetic where the base is ambiguous.
+func UnderlyingObject(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return v
+		}
+		switch in.Op {
+		case ir.OpPtrToInt, ir.OpIntToPtr:
+			v = in.Args[0]
+		case ir.OpAdd:
+			// Follow the pointer-typed side; with two integer operands
+			// the base is ambiguous, so stop.
+			if in.Args[0].Type() == ir.Ptr {
+				v = in.Args[0]
+			} else if in.Args[1].Type() == ir.Ptr {
+				v = in.Args[1]
+			} else {
+				return v
+			}
+		case ir.OpSub:
+			if in.Args[0].Type() == ir.Ptr {
+				v = in.Args[0]
+			} else {
+				return v
+			}
+		default:
+			return v
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"testing"
+
+	"privateer/internal/ir"
+)
+
+// TestUnderlyingObjectGEPChain: nested add/sub/cast chains over a single
+// pointer base all strip back to the allocation.
+func TestUnderlyingObjectGEPChain(t *testing.T) {
+	m := ir.NewModule("uo")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	base := b.Malloc("arr", b.I(256))
+	// arr + 8
+	p1 := b.Add(base, b.I(8))
+	// (arr + 8) + (i * 16)
+	idx := b.Mul(b.I(3), b.I(16))
+	p2 := b.Add(p1, idx)
+	// casts round-trip
+	p3 := b.IntToPtrVal(b.PtrToInt(p2))
+	// pointer on the right-hand side of the add
+	p4 := b.Add(b.I(4), p3)
+	// constant displacement backwards
+	p5 := b.Sub(p4, b.I(2))
+	b.Ret(b.I(0))
+
+	for i, v := range []ir.Value{base, p1, p2, p3, p4, p5} {
+		if got := UnderlyingObject(v); got != ir.Value(base) {
+			t.Errorf("step %d: UnderlyingObject = %v, want the malloc", i, got)
+		}
+	}
+}
+
+// TestUnderlyingObjectGlobal: interior pointers into a global strip to the
+// OpGlobal instruction.
+func TestUnderlyingObjectGlobal(t *testing.T) {
+	m := ir.NewModule("uo")
+	g := m.NewGlobal("tab", 64)
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	ga := b.Global(g)
+	p := b.Add(b.Add(ga, b.I(16)), b.I(8))
+	b.Ret(b.I(0))
+	if got := UnderlyingObject(p); got != ir.Value(ga) {
+		t.Errorf("UnderlyingObject = %v, want the global address", got)
+	}
+}
+
+// TestUnderlyingObjectStopsAtPhi: a phi merging two bases is itself the
+// underlying value — the walk must not pick a side.
+func TestUnderlyingObjectStopsAtPhi(t *testing.T) {
+	m := ir.NewModule("uo")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	a1 := b.Malloc("a1", b.I(8))
+	a2 := b.Malloc("a2", b.I(8))
+	entry := b.B
+	left := b.NewBlock("left")
+	right := b.NewBlock("right")
+	join := b.NewBlock("join")
+	b.SetBlock(entry)
+	b.CondBr(b.I(1), left, right)
+	b.SetBlock(left)
+	b.Br(join)
+	b.SetBlock(right)
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(ir.Ptr)
+	ir.AddIncoming(phi, a1, left)
+	ir.AddIncoming(phi, a2, right)
+	derived := b.Add(phi, b.I(4))
+	b.Ret(b.I(0))
+
+	if got := UnderlyingObject(derived); got != ir.Value(phi) {
+		t.Errorf("UnderlyingObject through a phi = %v, want the phi itself", got)
+	}
+}
+
+// TestUnderlyingObjectStopsAtSelect: same contract for select.
+func TestUnderlyingObjectStopsAtSelect(t *testing.T) {
+	m := ir.NewModule("uo")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	a1 := b.Malloc("a1", b.I(8))
+	a2 := b.Malloc("a2", b.I(8))
+	sel := b.Select(b.I(1), a1, a2)
+	derived := b.IntToPtrVal(b.PtrToInt(b.Add(sel, b.I(8))))
+	b.Ret(b.I(0))
+	if got := UnderlyingObject(derived); got != ir.Value(sel) {
+		t.Errorf("UnderlyingObject through a select = %v, want the select itself", got)
+	}
+}
+
+// TestUnderlyingObjectAmbiguousIntAdd: an add of two integers (no
+// pointer-typed side) stops the walk at the add.
+func TestUnderlyingObjectAmbiguousIntAdd(t *testing.T) {
+	m := ir.NewModule("uo")
+	f := m.NewFunc("main", ir.I64)
+	b := ir.NewBuilder(f)
+	base := b.Malloc("arr", b.I(64))
+	i1 := b.PtrToInt(base)
+	sum := b.Add(b.Add(i1, b.I(0)), b.I(8)) // i1 is I64 after the cast
+	b.Ret(b.I(0))
+	// PtrToInt is stripped, so the inner add still reaches the malloc; the
+	// important property is that the walk never invents a base when both
+	// operands are integers with no pointer flow.
+	if got := UnderlyingObject(sum); got != ir.Value(base) {
+		// Acceptable alternative: the walk stopped at an add. It must be
+		// one of the two — never a different object.
+		if in, ok := got.(*ir.Instr); !ok || in.Op != ir.OpAdd {
+			t.Errorf("UnderlyingObject = %v, want the malloc or a stopping add", got)
+		}
+	}
+	// A param (opaque non-instr value) is returned unchanged.
+	g := m.NewFunc("g", ir.Void)
+	p := g.NewParam("p", ir.Ptr)
+	if got := UnderlyingObject(p); got != ir.Value(p) {
+		t.Errorf("UnderlyingObject(param) = %v, want the param", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"privateer/internal/analysis"
 	"privateer/internal/ir"
 	"privateer/internal/profiling"
 )
@@ -48,11 +49,11 @@ type Assignment struct {
 	Loop *ir.Loop
 	// ShortLived, Redux, Unrestricted, Private and ReadOnly partition the
 	// footprint.
-	ShortLived   profiling.ObjectSet
-	Redux        profiling.ObjectSet
-	Unrestricted profiling.ObjectSet
-	Private      profiling.ObjectSet
-	ReadOnly     profiling.ObjectSet
+	ShortLived   profiling.ObjectSet // iteration-lifetime allocations
+	Redux        profiling.ObjectSet // reduction accumulators
+	Unrestricted profiling.ObjectSet // everything the other heaps reject
+	Private      profiling.ObjectSet // privatizable (write-before-read)
+	ReadOnly     profiling.ObjectSet // never written in the region
 	// ReduxOps gives the operator for each reduction object.
 	ReduxOps map[profiling.Object]ir.ReduxKind
 	// ReduxSizes gives the element size (bytes) of each reduction object's
@@ -69,6 +70,18 @@ type Assignment struct {
 	Predictions []PredictedLocation
 	// Footprint is the loop's full footprint from Algorithm 2.
 	Footprint *Footprint
+	// Sep carries the static separation prover's verdicts for this loop:
+	// the proven subset of each heap's objects, by rule. Nil when the
+	// prover did not run. The transformation drops checks for proven
+	// objects and the runtime drops their shadow machinery; the dynamic
+	// profile and runtime oracles audit every claim recorded here.
+	Sep *analysis.SepResult
+}
+
+// ProvenFor reports whether o's heap assignment is statically proven, so
+// its dynamic machinery can be dropped rather than merely elided.
+func (a *Assignment) ProvenFor(o profiling.Object) bool {
+	return a.Sep != nil && a.Sep.ProvenFor(o, a.HeapOf(o))
 }
 
 // HeapOf returns the heap kind assigned to object o, or HeapSystem if o is
@@ -110,8 +123,8 @@ func (a *Assignment) Objects() []ObjectHeap {
 
 // ObjectHeap pairs an object with its assigned heap.
 type ObjectHeap struct {
-	Object profiling.Object
-	Heap   ir.HeapKind
+	Object profiling.Object // the allocation site or global
+	Heap   ir.HeapKind      // its assigned logical heap
 }
 
 // PredictedLocation is a fixed global location whose value at iteration

@@ -40,6 +40,15 @@ type Options struct {
 	DisableValuePrediction bool
 	DisableElision         bool
 	DisablePostprocess     bool
+	// DisableStaticSep turns off the static separation prover: every
+	// object keeps its full dynamic machinery (the PR-7 elision-only
+	// build, used as the staticsep experiment baseline).
+	DisableStaticSep bool
+	// PlantProofs force-injects deliberately-unsound proofs, keyed by
+	// object name ("@global" or "fn:site") with a proof-rule value. It
+	// exists solely so tests and the audit harness can verify that the
+	// dynamic oracles catch a wrong static claim; never set it otherwise.
+	PlantProofs map[string]string
 }
 
 // LoopReport records the pipeline's decision about one hot loop.
@@ -125,6 +134,21 @@ func Parallelize(mod *ir.Module, opts Options) (*Parallelized, error) {
 			if conflict := heapConflict(a, committed); conflict != "" {
 				rep.Reason = conflict
 				break
+			}
+			if !opts.DisableStaticSep {
+				a.Sep = analysis.ProveSeparation(l, pt, analysis.SepCandidates{
+					ReadOnly:   a.ReadOnly,
+					ShortLived: a.ShortLived,
+					Private:    a.Private,
+					Redux:      a.Redux,
+				})
+				for name, rule := range opts.PlantProofs {
+					for _, oh := range a.Objects() {
+						if oh.Object.String() == name {
+							a.Sep.Plant(oh.Object, analysis.ProofRule(rule))
+						}
+					}
+				}
 			}
 			res, err := transform.ApplyOpts(mod, l, prof, a, plan, pt,
 				transform.Options{

@@ -41,6 +41,7 @@ const (
 	BlockerUnrestrictedHeap
 )
 
+// String names the blocker kind for diagnostics.
 func (k BlockerKind) String() string {
 	switch k {
 	case BlockerNoIV:
@@ -69,6 +70,7 @@ type Blocker struct {
 	Note string
 }
 
+// String renders the blocker with its source instruction and note.
 func (b Blocker) String() string {
 	s := b.Kind.String()
 	if b.Src != nil {
@@ -222,8 +224,13 @@ func StaticBlockers(l *ir.Loop, pt *analysis.PointsTo) []Blocker {
 			if okA && okB && analysis.NoCarriedOverlap(fa, fb, sizeOf(a), sizeOf(b)) {
 				continue
 			}
-			// Points-to disjointness.
-			if !pt.MayAlias(fnOf(a), addrOf(a), fnOf(b), addrOf(b)) {
+			// Points-to disjointness, on the stripped base values: the
+			// shared analysis.UnderlyingObject walk peels interior-pointer
+			// arithmetic so the query lands on the allocation the points-to
+			// sets actually track.
+			ua := analysis.UnderlyingObject(addrOf(a))
+			ub := analysis.UnderlyingObject(addrOf(b))
+			if !pt.MayAlias(fnOf(a), ua, fnOf(b), ub) {
 				continue
 			}
 			out = append(out, Blocker{Kind: BlockerMemory, Src: a, Dst: b})

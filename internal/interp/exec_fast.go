@@ -410,7 +410,7 @@ func (it *Interp) execDecoded(fr *Frame, df *decodedFunc) (uint64, error) {
 				}
 			} else if addr != 0 && ir.HeapOf(addr) != di.in.Heap {
 				it.Steps = steps
-				return 0, &MisspecError{Instr: di.in, Reason: fmt.Sprintf(
+				return 0, &MisspecError{Instr: di.in, Addr: addr, Reason: fmt.Sprintf(
 					"separation violated: %#x is in %s, expected %s", addr, ir.HeapOf(addr), di.in.Heap)}
 			}
 		case ir.OpPrivateRead:

@@ -628,7 +628,7 @@ func (it *Interp) execInstr(fr *Frame, in *ir.Instr) error {
 			return it.Hooks.CheckHeap(in, addr)
 		}
 		if addr != 0 && ir.HeapOf(addr) != in.Heap {
-			return &MisspecError{Instr: in, Reason: fmt.Sprintf(
+			return &MisspecError{Instr: in, Addr: addr, Reason: fmt.Sprintf(
 				"separation violated: %#x is in %s, expected %s", addr, ir.HeapOf(addr), in.Heap)}
 		}
 	case ir.OpPrivateRead:

@@ -34,6 +34,14 @@ type Config struct {
 	// Violate plants one read-before-write of scratch state in iterations
 	// >= Iterations/2 (so a profile over the first half misses it).
 	Violate bool
+	// ViolateSelect changes the planted violation's shape: the stale read
+	// goes through an unconditional load whose slot address is chosen by a
+	// Select on the iteration index, instead of a guarded branch. Control
+	// speculation cannot shield a branch-free violation, so it must be
+	// caught by the privacy checks themselves — or, when those were
+	// discharged by an (unsound) static proof, by the SepAudit oracle.
+	// Only meaningful together with Violate.
+	ViolateSelect bool
 	// Spread, when non-zero, rotates every scratch slot index by i*Spread
 	// (mod Scratch) so each iteration touches a different window of the
 	// array. The per-iteration write-before-read discipline is unchanged —
@@ -178,7 +186,19 @@ func Generate(cfg Config) *ir.Module {
 					break
 				}
 			}
-			if unwritten >= 0 {
+			switch {
+			case unwritten >= 0 && cfg.ViolateSelect && len(written) > 0:
+				// Branch-free variant: in the trained half the Select
+				// resolves to a slot this iteration wrote (a sound
+				// read-after-write), past the horizon it resolves to the
+				// unwritten slot — same load instruction, different target.
+				slot := b.Select(b.SLt(b.Ld(iv), b.I(cfg.Iterations/2)),
+					b.I(written[0]), b.I(unwritten))
+				stale := b.Load(b.Add(b.Global(scratch),
+					b.Mul(b.SRem(b.Add(slot, b.Mul(b.Ld(iv), b.I(cfg.Spread))), b.I(cfg.Scratch)), b.I(8))), 8)
+				addr := b.Global(out)
+				b.Store(b.Add(b.Load(addr, 8), stale), addr, 8)
+			case unwritten >= 0:
 				b.If(b.SGe(b.Ld(iv), b.I(cfg.Iterations/2)), func() {
 					stale := b.Load(slotAddr(unwritten), 8)
 					addr := b.Global(out)

@@ -2,6 +2,7 @@ package randprog
 
 import (
 	"os"
+	"strings"
 	"testing"
 
 	"privateer/internal/core"
@@ -72,6 +73,93 @@ func TestSoakRecovery(t *testing.T) {
 			runDifferential(t, cfg, []int{5}, 0.15)
 		})
 	}
+}
+
+// TestSoakSepAudit: the runtime separation-audit oracle rides along on
+// clean soak seeds — organically proven objects must produce zero
+// violations while results stay sequential-equal, at every worker count.
+func TestSoakSepAudit(t *testing.T) {
+	long := os.Getenv("PRIVATEER_SOAK") == "1"
+	lo, hi := soakSeeds(long)
+	for seed := lo; seed <= hi; seed++ {
+		cfg := soakConfig(seed, long)
+		t.Run("seed"+itoa(seed), func(t *testing.T) {
+			full := uint64(cfg.Iterations)
+			seqVal, seqOut, err := core.RunSequential(Generate(cfg), full)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := core.Parallelize(Generate(cfg), core.Options{
+				TrainArgs:          []uint64{TrainTrips(cfg)},
+				DisablePostprocess: elisionToggle(seed),
+			})
+			if err != nil {
+				t.Fatalf("parallelize: %v", err)
+			}
+			if len(par.Regions) == 0 {
+				t.Skipf("no region selected:\n%s", par.Summary())
+			}
+			rt, gotVal, err := core.Run(par, specrt.Config{Workers: 5, SepAudit: true}, full)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if n := rt.Stats.SepAuditViolations; n > 0 {
+				t.Errorf("sound proofs flagged %d time(s):\n%s", n,
+					strings.Join(rt.SepAuditReport(), "\n"))
+			}
+			if gotVal != seqVal || rt.Output() != seqOut {
+				t.Errorf("result %d, want %d (misspecs=%d)",
+					int64(gotVal), int64(seqVal), rt.Stats.Misspecs)
+			}
+		})
+	}
+}
+
+// TestSoakSepAuditCatchesPlantedProof: an unsound covered-write proof
+// planted on the scratch array drops its privacy marks, so the generated
+// violation (a read-before-write past the training horizon) would corrupt
+// the run silently — the soak lane's SepAudit oracle must flag it.
+func TestSoakSepAuditCatchesPlantedProof(t *testing.T) {
+	long := os.Getenv("PRIVATEER_SOAK") == "1"
+	lo, hi := soakSeeds(long)
+	planted, caught := 0, 0
+	for seed := lo; seed <= hi; seed++ {
+		cfg := soakConfig(seed, long)
+		cfg.Violate = true
+		cfg.ViolateSelect = true // branch-free: control speculation cannot shield it
+		full := uint64(cfg.Iterations)
+		par, err := core.Parallelize(Generate(cfg), core.Options{
+			TrainArgs:   []uint64{TrainTrips(cfg)},
+			PlantProofs: map[string]string{"@scratch": "covered"},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: parallelize: %v", seed, err)
+		}
+		took := false
+		for _, ri := range par.Regions {
+			if ri.TStats.StaticPrivMarksDropped > 0 {
+				took = true
+			}
+		}
+		if !took {
+			continue // region rejected or scratch not privatized: plant inert
+		}
+		planted++
+		rt, _, err := core.Run(par, specrt.Config{Workers: 5, SepAudit: true}, full)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if rt.Stats.SepAuditViolations > 0 {
+			caught++
+		} else {
+			t.Errorf("seed %d: planted unsound proof not flagged (misspecs=%d)",
+				seed, rt.Stats.Misspecs)
+		}
+	}
+	if planted == 0 {
+		t.Skip("plant never took effect on any soak seed")
+	}
+	t.Logf("planted proofs caught on %d/%d seed(s)", caught, planted)
 }
 
 // TestSoakViolation: planted privacy violations over the sparse footprint

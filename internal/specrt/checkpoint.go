@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"privateer/internal/ir"
+	"privateer/internal/profiling"
 	"privateer/internal/vm"
 )
 
@@ -22,6 +23,23 @@ type reduxObj struct {
 	size     int64
 	elemSize int64
 	op       ir.ReduxKind
+}
+
+// sepObj is one registry entry for a statically-proven object (see
+// RT.sepRegister): the object identity decides which regions' spans act
+// on it and how.
+type sepObj struct {
+	obj  profiling.Object
+	addr uint64
+	size int64
+}
+
+// provenRange is one statically-proven object's address range as a span
+// sees it: a privatized range to install wholesale, or a read-only range
+// the SepAudit oracle watches.
+type provenRange struct {
+	addr uint64
+	size int64
 }
 
 // checkpoint is one checkpoint object (section 5.2): the merged speculative
@@ -61,6 +79,12 @@ type checkpoint struct {
 	// order must not depend on goroutine scheduling, or floating-point
 	// reductions would produce schedule-dependent low bits.
 	redux map[uint64]map[int][]byte
+	// proven holds the content of each statically-privatized object at
+	// the end of this interval, keyed by base address. Exactly one worker
+	// contributes it — the one whose cyclic assignment ran the interval's
+	// last iteration — because the full-overwrite proof makes that
+	// iteration's content the sequential state after the interval.
+	proven map[uint64][]byte
 	// io collects deferred output of the interval.
 	io []ioRec
 	// contributed counts workers that added their state.
@@ -89,6 +113,7 @@ func newCheckpoint(id, base, limit int64, prev *checkpoint) *checkpoint {
 		data:   map[uint64][]byte{},
 		shadow: map[uint64][]byte{},
 		redux:  map[uint64]map[int][]byte{},
+		proven: map[uint64][]byte{},
 	}
 }
 
@@ -161,11 +186,13 @@ func (cp *checkpoint) mergeShadowPage(ws *vm.AddressSpace, pg shadowPage) uint64
 // The worker's shadow must reflect the current interval only (timestamps
 // are relative to cp.base). The page-level scan is sharded across up to
 // shards goroutines by shadow-page range; the result is independent of the
-// sharding because every shadow page maps to its own combined page. It
-// returns ok=false if the merge detects a privacy violation, the number of
-// shadow bytes scanned, and the total number of workers that have
-// contributed (including this one).
-func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []reduxObj, io []ioRec, shards int) (bool, int64, int) {
+// sharding because every shadow page maps to its own combined page. proven
+// is non-nil only for the worker that executed the interval's last
+// iteration: its view of each statically-privatized range is snapshotted
+// as the interval's final content. It returns ok=false if the merge
+// detects a privacy violation, the number of shadow bytes scanned, and
+// the total number of workers that have contributed (including this one).
+func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []reduxObj, proven []provenRange, io []ioRec, shards int) (bool, int64, int) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	ok := true
@@ -228,6 +255,16 @@ func (cp *checkpoint) addWorkerState(wid int, ws *vm.AddressSpace, reduxObjs []r
 			cp.redux[ro.addr] = contribs
 		}
 		contribs[wid] = buf
+	}
+	for _, pr := range proven {
+		buf := make([]byte, pr.size)
+		if err := ws.ReadBytes(pr.addr, buf); err != nil {
+			ok = false
+			cp.misspec = true
+			cp.noteMissAddr(pr.addr)
+			continue
+		}
+		cp.proven[pr.addr] = buf
 	}
 	cp.io = append(cp.io, io...)
 	cp.contributed++
@@ -460,6 +497,26 @@ func (cp *checkpoint) installOwnDataInto(master *vm.AddressSpace) (int64, error)
 			}
 			bytes += int64(run - off)
 			off = run
+		}
+	}
+	// Statically-privatized objects carry no shadow marks; their interval-
+	// final content was snapshotted wholesale from the worker that ran the
+	// interval's last iteration. It installs after the merged per-byte data
+	// deliberately: a stray marked write to such an object (a multi-target
+	// access that kept its marks) from an earlier iteration is dead under
+	// the full-overwrite proof, so the snapshot must win.
+	if len(cp.proven) > 0 {
+		addrs := make([]uint64, 0, len(cp.proven))
+		for addr := range cp.proven {
+			addrs = append(addrs, addr)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, addr := range addrs {
+			buf := cp.proven[addr]
+			if err := master.WriteBytes(addr, buf); err != nil {
+				return bytes, err
+			}
+			bytes += int64(len(buf))
 		}
 	}
 	return bytes, nil

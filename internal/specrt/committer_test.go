@@ -254,7 +254,7 @@ func TestShardedMergeEquivalence(t *testing.T) {
 	}
 	merge := func(shards int) *checkpoint {
 		cp := newCheckpoint(0, 0, 4, nil)
-		ok, scanned, contributed := cp.addWorkerState(0, mkWorker(), nil, nil, shards)
+		ok, scanned, contributed := cp.addWorkerState(0, mkWorker(), nil, nil, nil, shards)
 		if !ok || scanned == 0 || contributed != 1 {
 			t.Fatalf("shards=%d: ok=%v scanned=%d contributed=%d", shards, ok, scanned, contributed)
 		}

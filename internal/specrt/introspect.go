@@ -37,6 +37,8 @@ func (s *Stats) Snapshot() Stats {
 		SeparationChecks:    atomic.LoadInt64(&s.SeparationChecks),
 		Predictions:         atomic.LoadInt64(&s.Predictions),
 		DeferredIO:          atomic.LoadInt64(&s.DeferredIO),
+		ProvenRangeBytes:    atomic.LoadInt64(&s.ProvenRangeBytes),
+		SepAuditViolations:  atomic.LoadInt64(&s.SepAuditViolations),
 		SpawnNS:             atomic.LoadInt64(&s.SpawnNS),
 		JoinNS:              atomic.LoadInt64(&s.JoinNS),
 		CheckpointNS:        atomic.LoadInt64(&s.CheckpointNS),
@@ -337,6 +339,10 @@ func (rt *RT) publishMetrics(reg *obs.Registry) {
 			func(s *Stats) int64 { return s.Predictions }),
 		mk("deferred_io_total", "Buffered output operations.",
 			func(s *Stats) int64 { return s.DeferredIO }),
+		mk("proven_range_bytes_total", "Bytes wholesale-installed from statically-privatized ranges.",
+			func(s *Stats) int64 { return s.ProvenRangeBytes }),
+		mk("sep_audit_violations_total", "Static separation claims contradicted by the SepAudit oracle.",
+			func(s *Stats) int64 { return s.SepAuditViolations }),
 		mk("spawn_ns_total", "Wall-clock worker spawn time.",
 			func(s *Stats) int64 { return s.SpawnNS }),
 		mk("join_ns_total", "Master-side validate/install/commit critical path.",
@@ -439,6 +445,18 @@ func (rt *RT) publishMetrics(reg *obs.Registry) {
 			} {
 				reg.Counter("privateer_postprocess_sites_total",
 					"Check sites rewritten by the transform postprocess pass, by category (static).",
+					"region", ri.Outline.LoopName, "category", c.name).Set(int64(c.n))
+			}
+			for _, c := range []struct {
+				name string
+				n    int
+			}{
+				{"checks_discharged", ts.StaticProven},
+				{"priv_marks_dropped", ts.StaticPrivMarksDropped},
+				{"redux_marks_dropped", ts.StaticReduxMarksDropped},
+			} {
+				reg.Counter("privateer_static_sep_total",
+					"Dynamic machinery discharged by the static separation prover, by category (static).",
 					"region", ri.Outline.LoopName, "category", c.name).Set(int64(c.n))
 			}
 		}

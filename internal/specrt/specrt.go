@@ -84,6 +84,16 @@ type Config struct {
 	// constructs (master, workers, recovery), enabling the sampling
 	// per-opcode profiler (see interp.OpProfiler).
 	OpProf *interp.OpProfiler
+	// SepAudit enables the runtime oracle for static separation proofs:
+	// workers observe every load and store and flag (loudly, via
+	// Stats.SepAuditViolations and SepAuditReport) any access that
+	// contradicts a statically-proven claim — a store into a proven
+	// read-only object, or a read of a statically-privatized object's byte
+	// before the iteration rewrote it. The read-only heap keeps its write
+	// protection in this mode even when proofs would let it drop. A sound
+	// prover never trips the oracle; it exists to catch unsound proofs
+	// (see core.Options.PlantProofs) before they corrupt output silently.
+	SepAudit bool
 	// EagerClone selects the flat-table baseline memory mode: worker spawn
 	// rebuilds the whole page table and deep-copies allocator state up
 	// front, and dirty scans visit every resident entry instead of
@@ -134,6 +144,14 @@ type Stats struct {
 	Predictions int64
 	// DeferredIO counts buffered output operations.
 	DeferredIO int64
+	// ProvenRangeBytes totals statically-privatized object bytes captured
+	// for wholesale per-interval install (objects whose privacy marks the
+	// prover discharged; compare PrivWriteBytes for the tracked kind).
+	ProvenRangeBytes int64
+	// SepAuditViolations counts accesses the SepAudit oracle observed
+	// contradicting a static separation proof. Nonzero means an unsound
+	// proof reached the runtime; see RT.SepAuditReport.
+	SepAuditViolations int64
 	// SpawnNS is wall-clock worker spawn time (nanoseconds, atomically
 	// accumulated, like every timing field below).
 	SpawnNS int64
@@ -206,6 +224,20 @@ type RT struct {
 	// reallocated memory).
 	reduxObjs map[uint64]reduxObj
 
+	// sepMu guards sepObjs, the live statically-proven objects keyed by
+	// base address: private-heap objects some region statically privatized
+	// (their final ranges install wholesale, since their accesses carry no
+	// shadow marks) and read-only-heap objects with a static proof (the
+	// SepAudit oracle watches them). Registration mirrors reduxObjs:
+	// globals at Run, dynamic sites via onAlloc/onFree.
+	sepMu   sync.Mutex
+	sepObjs map[uint64]sepObj
+
+	// sepViolMu guards sepViols, the (bounded) detail list behind
+	// Stats.SepAuditViolations.
+	sepViolMu sync.Mutex
+	sepViols  []string
+
 	// occ mirrors the master address space's per-heap allocator totals in
 	// atomic counters for live introspection (attached in Run).
 	occ *vm.HeapOccupancy
@@ -253,6 +285,7 @@ func New(mod *ir.Module, cfg Config, regions ...*RegionInfo) *RT {
 		Cfg: cfg, Mod: mod,
 		regions:   map[*ir.Function]*RegionInfo{},
 		reduxObjs: map[uint64]reduxObj{},
+		sepObjs:   map[uint64]sepObj{},
 		occ:       vm.NewHeapOccupancy(),
 		siteMap:   &intervalmap.Map[string]{},
 		missTable: map[misspecKey]int64{},
@@ -294,6 +327,7 @@ func (rt *RT) onAlloc(fr *interp.Frame, in *ir.Instr, addr, size uint64) {
 		rt.registerRedux(addr, int64(size), profiling.Object{Site: in})
 	}
 	if in != nil {
+		rt.sepRegister(addr, int64(size), profiling.Object{Site: in})
 		rt.trackSite(addr, size, profiling.Object{Site: in}.String())
 	}
 }
@@ -304,6 +338,7 @@ func (rt *RT) onFree(fr *interp.Frame, in *ir.Instr, addr uint64) {
 	if ir.HeapOf(addr) == ir.HeapRedux {
 		rt.deregisterRedux(addr)
 	}
+	rt.sepDeregister(addr)
 	rt.untrackSite(addr)
 }
 
@@ -348,6 +383,7 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 		if g.Heap == ir.HeapRedux {
 			rt.registerRedux(master.GlobalAddr(g), g.Size, profiling.Object{Global: g})
 		}
+		rt.sepRegister(master.GlobalAddr(g), g.Size, profiling.Object{Global: g})
 		rt.trackSite(master.GlobalAddr(g), uint64(g.Size), profiling.Object{Global: g}.String())
 	}
 	return master.Run(args...)
@@ -399,6 +435,98 @@ func (rt *RT) reduxCount() int {
 	rt.reduxMu.Lock()
 	defer rt.reduxMu.Unlock()
 	return len(rt.reduxObjs)
+}
+
+// sepRegister records a private- or read-only-heap object at addr when
+// some region carries a static proof the runtime acts on: a statically-
+// privatized private object (wholesale range install replaces its
+// dropped privacy marks) or a proven read-only object (watched by the
+// SepAudit oracle, and grounds for skipping the worker-side write
+// protection). Re-registering an address replaces the entry.
+func (rt *RT) sepRegister(addr uint64, size int64, obj profiling.Object) {
+	h := ir.HeapOf(addr)
+	if h != ir.HeapPrivate && h != ir.HeapReadOnly {
+		return
+	}
+	used := false
+	for _, ri := range rt.regions {
+		if ri.Assign.Sep.StaticallyPrivatized(obj) || ri.Assign.Sep.ProvenFor(obj, ir.HeapReadOnly) {
+			used = true
+			break
+		}
+	}
+	if !used {
+		return
+	}
+	rt.sepMu.Lock()
+	rt.sepObjs[addr] = sepObj{obj: obj, addr: addr, size: size}
+	rt.sepMu.Unlock()
+}
+
+// sepDeregister drops the proven object at addr, if registered.
+func (rt *RT) sepDeregister(addr uint64) {
+	rt.sepMu.Lock()
+	delete(rt.sepObjs, addr)
+	rt.sepMu.Unlock()
+}
+
+// sepSnapshot returns, for one region, the live statically-privatized
+// ranges (whose content installs wholesale per interval) and the proven
+// read-only ranges (consumed by the SepAudit oracle), each in address
+// order: one consistent view per speculative span.
+func (rt *RT) sepSnapshot(ri *RegionInfo) (priv, ro []provenRange) {
+	rt.sepMu.Lock()
+	for _, so := range rt.sepObjs {
+		switch {
+		case ir.HeapOf(so.addr) == ir.HeapPrivate && ri.Assign.Sep.StaticallyPrivatized(so.obj):
+			priv = append(priv, provenRange{addr: so.addr, size: so.size})
+		case ir.HeapOf(so.addr) == ir.HeapReadOnly && ri.Assign.Sep.ProvenFor(so.obj, ir.HeapReadOnly):
+			ro = append(ro, provenRange{addr: so.addr, size: so.size})
+		}
+	}
+	rt.sepMu.Unlock()
+	sort.Slice(priv, func(i, j int) bool { return priv[i].addr < priv[j].addr })
+	sort.Slice(ro, func(i, j int) bool { return ro[i].addr < ro[j].addr })
+	return priv, ro
+}
+
+// roProtSkippable reports whether worker spaces for ri may skip write-
+// protecting the read-only heap: the region has no unresolvable write
+// and provably writes no object any region placed in the read-only heap,
+// so the protection can never fire. SepAudit keeps the protection
+// regardless — the oracle wants the trap as a second witness.
+func (rt *RT) roProtSkippable(ri *RegionInfo) bool {
+	sep := ri.Assign.Sep
+	if rt.Cfg.SepAudit || sep == nil || sep.WritesUnknown {
+		return false
+	}
+	for o := range sep.Writes {
+		for _, rj := range rt.regions {
+			if rj.Assign.HeapOf(o) == ir.HeapReadOnly {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// noteSepViolation records one SepAudit oracle violation: counted in
+// Stats, detailed (bounded) in SepAuditReport.
+func (rt *RT) noteSepViolation(detail string) {
+	atomic.AddInt64(&rt.Stats.SepAuditViolations, 1)
+	rt.sepViolMu.Lock()
+	if len(rt.sepViols) < 64 {
+		rt.sepViols = append(rt.sepViols, detail)
+	}
+	rt.sepViolMu.Unlock()
+}
+
+// SepAuditReport returns the detail lines of every SepAudit violation
+// observed so far (bounded; Stats.SepAuditViolations has the full count).
+func (rt *RT) SepAuditReport() []string {
+	rt.sepViolMu.Lock()
+	defer rt.sepViolMu.Unlock()
+	return append([]string(nil), rt.sepViols...)
 }
 
 // checkpointPeriod picks k for an invocation of total iterations.
@@ -477,7 +605,9 @@ func (rt *RT) invoke(ri *RegionInfo, args []uint64) error {
 			misspecIter: -1,
 			inv:         inv,
 			redux:       rt.reduxSnapshot(),
+			roProtSkip:  rt.roProtSkippable(ri),
 		}
+		span.proven, span.provenRO = rt.sepSnapshot(ri)
 		tr.Instant(obs.Event{Kind: obs.KSpanStart,
 			Invocation: inv, Worker: -1, Iter: -1, A: start, B: k})
 		lastValid, misspecAt, err := span.run()

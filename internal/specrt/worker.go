@@ -28,6 +28,16 @@ type spanState struct {
 	// address-ordered view shared by worker init, checkpoint merges and
 	// install, immune to concurrent registry changes.
 	redux []reduxObj
+	// proven is the span's snapshot of statically-privatized ranges: their
+	// accesses carry no shadow marks, so each interval's final content is
+	// captured wholesale from the worker that ran the interval's last
+	// iteration and installed like data pages. provenRO is the snapshot of
+	// proven read-only ranges, consumed by the SepAudit oracle.
+	proven   []provenRange
+	provenRO []provenRange
+	// roProtSkip drops the worker-side write protection of the read-only
+	// heap: the region statically cannot write it (see roProtSkippable).
+	roProtSkip bool
 
 	mu          sync.Mutex
 	checkpoints []*checkpoint
@@ -321,6 +331,12 @@ type worker struct {
 
 	shortBaseline int
 
+	// SepAudit oracle state: the byte addresses of statically-privatized
+	// ranges the current iteration has written so far (auditIter tells
+	// which iteration the set reflects; it resets lazily on change).
+	auditWr   map[uint64]bool
+	auditIter int64
+
 	// Simulated-time accounting (see sim.go).
 	simPrivRead   int64
 	simPrivWrite  int64
@@ -344,7 +360,11 @@ func newWorker(sp *spanState, id, stride int) (*worker, error) {
 	// reduction heap starts at the operator's identity. A failure here
 	// means the worker would speculate from a corrupt base state — that is
 	// a hard error, not something to discover later as a bogus result.
-	w.as.SetProt(ir.HeapReadOnly, vm.ProtRead)
+	// When the prover showed the region cannot write that heap at all,
+	// the protection is dead weight and is skipped (audit mode keeps it).
+	if !sp.roProtSkip {
+		w.as.SetProt(ir.HeapReadOnly, vm.ProtRead)
+	}
 	for _, ro := range sp.redux {
 		ident, err := Identity(ro.op, ro.elemSize)
 		if err != nil {
@@ -420,7 +440,7 @@ func (w *worker) installHooks() {
 		atomic.AddInt64(&rt.Stats.SeparationChecks, 1)
 		w.simOther += SimSeparationCheck
 		if addr != 0 && ir.HeapOf(addr) != in.Heap {
-			return &interp.MisspecError{Instr: in, Reason: "separation violated"}
+			return &interp.MisspecError{Instr: in, Addr: addr, Reason: "separation violated"}
 		}
 		return nil
 	}
@@ -444,6 +464,76 @@ func (w *worker) installHooks() {
 		w.io = append(w.io, ioRec{iter: w.curIter, text: text})
 		atomic.AddInt64(&rt.Stats.DeferredIO, 1)
 		return true
+	}
+	if rt.Cfg.SepAudit && (len(w.sp.proven) > 0 || len(w.sp.provenRO) > 0) {
+		w.installAuditHooks()
+	}
+}
+
+// overlapRange intersects [addr, addr+size) with one proven range,
+// returning the overlapping byte range (empty when disjoint).
+func overlapRange(pr provenRange, addr uint64, size int64) (uint64, uint64) {
+	lo, hi := addr, addr+uint64(size)
+	if pr.addr > lo {
+		lo = pr.addr
+	}
+	if end := pr.addr + uint64(pr.size); end < hi {
+		hi = end
+	}
+	return lo, hi
+}
+
+// installAuditHooks arms the SepAudit oracle on this worker: every load
+// and store is checked against the span's statically-proven ranges. A
+// store into a proven read-only object, or a read of a statically-
+// privatized byte the current iteration has not (re)written, contradicts
+// the static claim that justified dropping its dynamic machinery — the
+// oracle counts it loudly instead of letting the corruption stay silent.
+// A sound prover never trips either condition: proofs guarantee no region
+// write targets a proven read-only object and every read of a privatized
+// object is dominated by same-iteration covering writes.
+func (w *worker) installAuditHooks() {
+	rt := w.sp.rt
+	h := &w.it.Hooks
+	w.auditWr = map[uint64]bool{}
+	w.auditIter = -1 << 62
+	syncIter := func() {
+		if w.auditIter != w.curIter {
+			w.auditIter = w.curIter
+			for b := range w.auditWr {
+				delete(w.auditWr, b)
+			}
+		}
+	}
+	h.OnStore = func(fr *interp.Frame, in *ir.Instr, addr uint64, size int64) {
+		syncIter()
+		for _, pr := range w.sp.proven {
+			lo, hi := overlapRange(pr, addr, size)
+			for b := lo; b < hi; b++ {
+				w.auditWr[b] = true
+			}
+		}
+		for _, pr := range w.sp.provenRO {
+			if lo, hi := overlapRange(pr, addr, size); lo < hi {
+				rt.noteSepViolation(fmt.Sprintf(
+					"iter %d: store %s writes proven read-only range [%#x,%#x)",
+					w.curIter, in, lo, hi))
+			}
+		}
+	}
+	h.OnLoad = func(fr *interp.Frame, in *ir.Instr, addr uint64, size int64) {
+		syncIter()
+		for _, pr := range w.sp.proven {
+			lo, hi := overlapRange(pr, addr, size)
+			for b := lo; b < hi; b++ {
+				if !w.auditWr[b] {
+					rt.noteSepViolation(fmt.Sprintf(
+						"iter %d: load %s reads statically-privatized byte %#x before the iteration rewrote it",
+						w.curIter, in, b))
+					break
+				}
+			}
+		}
 	}
 }
 
@@ -590,6 +680,20 @@ func (w *worker) run() error {
 					// into the read-only heap, say) are misspeculations:
 					// the paper's workers take the same path on SIGSEGV.
 					cause, site, faddr := misspecCause(err)
+					if rt.Cfg.SepAudit && faddr != 0 {
+						// The hooks fire only after a successful access, so a
+						// store rejected by the read-only page protection is
+						// audited here: faulting inside a proven range means
+						// the static claim itself was wrong.
+						for _, pr := range sp.provenRO {
+							if faddr >= pr.addr && faddr < pr.addr+uint64(pr.size) {
+								rt.noteSepViolation(fmt.Sprintf(
+									"iter %d: %s at %#x inside proven read-only range [%#x,%#x)",
+									i, cause, faddr, pr.addr, pr.addr+uint64(pr.size)))
+								break
+							}
+						}
+					}
 					sp.flag(i, w.id, cause, site, faddr)
 					return nil
 				}
@@ -620,7 +724,17 @@ func (w *worker) run() error {
 		// and install it without observing the flag.
 		cpStart := time.Now()
 		cp := sp.checkpointFor(c)
-		ok, scanned, _ := cp.addWorkerState(w.id, w.as, sp.redux, w.io, rt.validateShards())
+		// Under cyclic assignment the interval's last iteration (limit-1)
+		// belongs to exactly one worker; only its view of the statically-
+		// privatized ranges is the interval's sequential final content.
+		var proven []provenRange
+		if len(sp.proven) > 0 && int64(w.id) == (limit-1-base)%int64(w.stride) {
+			proven = sp.proven
+			for _, pr := range proven {
+				atomic.AddInt64(&rt.Stats.ProvenRangeBytes, pr.size)
+			}
+		}
+		ok, scanned, _ := cp.addWorkerState(w.id, w.as, sp.redux, proven, w.io, rt.validateShards())
 		w.simCheckpoint += scanned * SimCheckpointPerByte
 		w.io = nil
 		w.resetShadow()

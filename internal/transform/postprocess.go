@@ -225,36 +225,10 @@ func (pp *postpass) removeDead(dead map[*ir.Instr]bool) {
 
 // underlyingObject strips constant-preserving address arithmetic down to
 // the base SSA value: the allocation or global whose heap tag every
-// derived interior pointer shares.
+// derived interior pointer shares. It is the shared analysis.UnderlyingObject
+// walk, aliased here for the pass's internal call sites.
 func underlyingObject(v ir.Value) ir.Value {
-	for {
-		in, ok := v.(*ir.Instr)
-		if !ok {
-			return v
-		}
-		switch in.Op {
-		case ir.OpPtrToInt, ir.OpIntToPtr:
-			v = in.Args[0]
-		case ir.OpAdd:
-			// Follow the pointer-typed side; with two integer operands
-			// the base is ambiguous, so stop.
-			if in.Args[0].Type() == ir.Ptr {
-				v = in.Args[0]
-			} else if in.Args[1].Type() == ir.Ptr {
-				v = in.Args[1]
-			} else {
-				return v
-			}
-		case ir.OpSub:
-			if in.Args[0].Type() == ir.Ptr {
-				v = in.Args[0]
-			} else {
-				return v
-			}
-		default:
-			return v
-		}
-	}
+	return analysis.UnderlyingObject(v)
 }
 
 // baseOffset peels constant displacements: v == base + offset.

@@ -42,8 +42,8 @@ type Stats struct {
 	// SeparationElided counts checks proved statically and omitted.
 	SeparationElided int
 	// PrivacyReads and PrivacyWrites count inserted privacy checks.
-	PrivacyReads  int
-	PrivacyWrites int
+	PrivacyReads  int // check_priv_read sites
+	PrivacyWrites int // check_priv_write sites
 	// ReduxMarks counts inserted redux_write markers.
 	ReduxMarks int
 	// Predicts counts inserted value-prediction checks.
@@ -69,12 +69,50 @@ type Stats struct {
 	// DensePromoted and SparsePromoted count affine per-iteration
 	// checks replaced by one preheader span, unit-stride or strided
 	// (numDensePromoted / numSparsePromoted).
-	DensePromoted  int
-	SparsePromoted int
+	DensePromoted  int // unit-stride span promotions
+	SparsePromoted int // strided span promotions
 	// HeapRedundantUO counts separation checks removed because an
 	// earlier check covers the same underlying object
 	// (numHeapRedundantUO).
 	HeapRedundantUO int
+
+	// Static-separation-prover counters. These are distinct from the
+	// elision counters above: an elided check was provably going to pass
+	// but the object's classification still rested on the profile; a
+	// proven object's classification itself is a compile-time fact, so
+	// its whole dynamic mechanism is dropped.
+
+	// StaticProven counts separation checks dropped because every object
+	// the address can reference is statically proven for its heap
+	// (numStaticProven; compare SeparationElided = numEliminated).
+	StaticProven int
+	// StaticPrivMarksDropped counts privacy marks dropped on proven
+	// covered-write objects (the runtime installs their final ranges
+	// wholesale instead of tracking per-access shadow marks).
+	StaticPrivMarksDropped int
+	// StaticReduxMarksDropped counts redux markers dropped on proven
+	// reduction objects (registration is allocation-driven, so merging
+	// still happens; only the per-store marker work disappears).
+	StaticReduxMarksDropped int
+	// ProvenByRule counts the region's statically-proven objects per
+	// proof rule.
+	ProvenByRule map[analysis.ProofRule]int
+}
+
+// SepSummary renders the static-separation counters deterministically.
+func (s *Stats) SepSummary() string {
+	var rules []string
+	for _, r := range analysis.Rules {
+		if n := s.ProvenByRule[r]; n > 0 {
+			rules = append(rules, fmt.Sprintf("%s=%d", r, n))
+		}
+	}
+	ruleStr := "-"
+	if len(rules) > 0 {
+		ruleStr = strings.Join(rules, " ")
+	}
+	return fmt.Sprintf("proven-checks=%d priv-marks-dropped=%d redux-marks-dropped=%d rules: %s",
+		s.StaticProven, s.StaticPrivMarksDropped, s.StaticReduxMarksDropped, ruleStr)
 }
 
 // PostprocessSummary renders the postprocess-pass counters in a fixed
@@ -156,7 +194,10 @@ func ApplyOpts(mod *ir.Module, l *ir.Loop, prof *profiling.Profile,
 		return nil, fmt.Errorf("transform: loop %s has %d blockers; first: %s",
 			l, len(plan.Blockers), plan.Blockers[0])
 	}
-	st := &Stats{SitesPerHeap: map[ir.HeapKind]int{}}
+	st := &Stats{SitesPerHeap: map[ir.HeapKind]int{}, ProvenByRule: map[analysis.ProofRule]int{}}
+	if a.Sep != nil {
+		st.ProvenByRule = a.Sep.CountByRule()
+	}
 	tr := &transformer{mod: mod, loop: l, prof: prof, assign: a, plan: plan, pt: pt, stats: st, opts: opts}
 	tr.replaceAllocation()
 	tr.insertChecks()
@@ -191,31 +232,10 @@ type insertion struct {
 }
 
 // regionFuncs returns the loop's own function plus every function
-// transitively callable from the loop body.
+// transitively callable from the loop body (the shared ir.RegionFuncs
+// summary).
 func (tr *transformer) regionFuncs() []*ir.Function {
-	seen := map[*ir.Function]bool{tr.loop.Header.Fn: true}
-	order := []*ir.Function{tr.loop.Header.Fn}
-	var scanFunc func(f *ir.Function)
-	scanFunc = func(f *ir.Function) {
-		if seen[f] {
-			return
-		}
-		seen[f] = true
-		order = append(order, f)
-		f.Instrs(func(in *ir.Instr) {
-			if in.Op == ir.OpCall {
-				scanFunc(in.Callee)
-			}
-		})
-	}
-	for _, b := range tr.loop.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.OpCall {
-				scanFunc(in.Callee)
-			}
-		}
-	}
-	return order
+	return ir.RegionFuncs(tr.loop)
 }
 
 // inRegion reports whether in executes within the parallel region: inside
@@ -369,6 +389,61 @@ func (tr *transformer) staticallySeparated(f *ir.Function, addr ir.Value, h ir.H
 	return len(objs) > 0
 }
 
+// provenObjects reports whether addr's points-to set is Unknown-free,
+// nonempty, and every object in it satisfies pred. All static-separation
+// drops funnel through this: a single opaque target keeps the full
+// dynamic machinery.
+func (tr *transformer) provenObjects(f *ir.Function, addr ir.Value, pred func(profiling.Object) bool) bool {
+	if tr.assign.Sep == nil {
+		return false
+	}
+	objs := tr.pt.ValueObjects(f, addr)
+	if objs[analysis.Unknown] || len(objs) == 0 {
+		return false
+	}
+	for o := range objs {
+		if !pred(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// staticProven reports whether the separation check for addr against heap
+// h is discharged by the separation prover: every referenceable object is
+// assigned to h and carries a proof for h. Unlike staticallySeparated
+// (elision), this does not require a load-free address — the points-to
+// sets of loaded pointers are still conservative, and the proof covers
+// the claim itself, not just the check's outcome.
+func (tr *transformer) staticProven(f *ir.Function, addr ir.Value, h ir.HeapKind) bool {
+	return tr.provenObjects(f, addr, func(o profiling.Object) bool {
+		return tr.assign.HeapOf(o) == h && tr.assign.Sep.ProvenFor(o, h)
+	})
+}
+
+// privMarksDroppable reports whether privacy marks for an access to addr
+// can be dropped: every referenceable object is a statically privatized
+// private object — proven covered-write AND fully overwritten every
+// iteration, so the runtime can install each interval's final content
+// wholesale from the worker that ran the interval's last iteration.
+// (Affine-disjoint and merely-covered proofs do NOT qualify — their
+// workers still rely on per-byte write marks to merge results.)
+func (tr *transformer) privMarksDroppable(f *ir.Function, addr ir.Value) bool {
+	return tr.provenObjects(f, addr, func(o profiling.Object) bool {
+		return tr.assign.Sep.StaticallyPrivatized(o) && tr.assign.HeapOf(o) == ir.HeapPrivate
+	})
+}
+
+// reduxMarksDroppable reports whether redux markers for a store to addr
+// can be dropped: every referenceable object is a proven reduction.
+// Reduction registration (identity init + merge) is allocation-driven,
+// so only the per-store marker disappears.
+func (tr *transformer) reduxMarksDroppable(f *ir.Function, addr ir.Value) bool {
+	return tr.provenObjects(f, addr, func(o profiling.Object) bool {
+		return tr.assign.HeapOf(o) == ir.HeapRedux && tr.assign.Sep.ProvenFor(o, ir.HeapRedux)
+	})
+}
+
 // loadFreeAddress reports whether v is computed from globals, allocation
 // results and arithmetic only — no loads, calls or parameters.
 func loadFreeAddress(v ir.Value) bool {
@@ -472,7 +547,9 @@ func (tr *transformer) insertChecks() {
 			key := checkKey{addr, h}
 			if !checked[key] {
 				checked[key] = true
-				if tr.staticallySeparated(f, addr, h) {
+				if tr.staticProven(f, addr, h) {
+					tr.stats.StaticProven++
+				} else if tr.staticallySeparated(f, addr, h) {
 					tr.stats.SeparationElided++
 				} else {
 					chk := makeCheck(bld, addr, h)
@@ -493,7 +570,9 @@ func (tr *transformer) insertChecks() {
 				return
 			}
 			if h == ir.HeapPrivate && size > 0 {
-				if in.Op == ir.OpMemSet {
+				if tr.privMarksDroppable(f, addr) {
+					tr.stats.StaticPrivMarksDropped++
+				} else if in.Op == ir.OpMemSet {
 					// A memset covers Args[1] bytes, not one fixed-size
 					// word: mark the whole span (a fixed-width check here
 					// would leave the tail bytes unwatched).
@@ -514,10 +593,14 @@ func (tr *transformer) insertChecks() {
 			}
 			// Reduction markers on redux-heap stores.
 			if h == ir.HeapRedux && isWrite {
-				kind := tr.reduxKindFor(in)
-				rw := makeRedux(bld, addr, size, kind)
-				tr.queueInsert(in, false, rw)
-				tr.stats.ReduxMarks++
+				if tr.reduxMarksDroppable(f, addr) {
+					tr.stats.StaticReduxMarksDropped++
+				} else {
+					kind := tr.reduxKindFor(in)
+					rw := makeRedux(bld, addr, size, kind)
+					tr.queueInsert(in, false, rw)
+					tr.stats.ReduxMarks++
+				}
 			}
 		})
 	}
