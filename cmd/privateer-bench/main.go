@@ -24,7 +24,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, scale, elision, staticsep, or obsoverhead")
+			"all, table1, table3, fig6, fig7, fig8, fig9, ablation, pipeline, micro, scale, elision, staticsep, obsoverhead, or service")
 		input     = flag.String("input", "", "input class override: train, ref, alt, huge")
 		quick     = flag.Bool("quick", false, "scaled-down configuration (train inputs)")
 		programs  = flag.String("programs", "", "comma-separated subset of benchmarks")
@@ -179,6 +179,18 @@ func run(experiment, input string, quick bool, programs string, workers int, jso
 			fmt.Println(rep.Format())
 		}
 		return finishTrace()
+	}
+	if experiment == "service" {
+		rep, err := bench.RunService(cfg, quick)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			fmt.Println(rep.JSON())
+		} else {
+			fmt.Println(rep.Format())
+		}
+		return nil
 	}
 	if experiment == "obsoverhead" {
 		rep, err := bench.RunObsOverhead()

@@ -10,6 +10,7 @@
 //	privateer -prog blackscholes -workers 24 -input ref -misspec 0.01
 //	privateer -prog enc-md5 -mode doall      # the non-speculative baseline
 //	privateer -prog swaptions -mode seq      # plain sequential execution
+//	privateer -mode serve -serve :6060       # multi-tenant region service
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"privateer/internal/ir"
 	"privateer/internal/obs"
 	"privateer/internal/progs"
+	"privateer/internal/service"
 	"privateer/internal/specrt"
 	"privateer/internal/vm"
 )
@@ -99,7 +101,7 @@ func main() {
 		runArgs  = flag.String("args", "", "comma-separated integer arguments for -irfile programs")
 		input    = flag.String("input", "ref", "input class: train, ref, alt, huge")
 		workers  = flag.Int("workers", 8, "worker process count")
-		mode     = flag.String("mode", "privateer", "privateer, doall, or seq")
+		mode     = flag.String("mode", "privateer", "privateer, doall, seq, or serve")
 		misspec  = flag.Float64("misspec", 0, "injected misspeculation rate per iteration")
 		seed     = flag.Uint64("seed", 0xC0FFEE, "injection seed")
 		period   = flag.Int64("checkpoint", 0, "checkpoint period in iterations (0 = auto)")
@@ -108,10 +110,23 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the pipeline summary")
 		serve    = flag.String("serve", "", "serve live introspection (/metrics, /vars, /spec, /debug/pprof) on this address, e.g. :6060")
 		whyMiss  = flag.Bool("why-misspec", false, "after the run, print misspeculations attributed to allocation sites")
+
+		// Region-service tuning (only with -mode serve).
+		queueDepth  = flag.Int("queue-depth", service.DefaultQueueDepth, "serve: bounded job-queue depth before backpressure")
+		concurrency = flag.Int("concurrency", service.DefaultConcurrency, "serve: concurrent region invocations")
+		tenantQuota = flag.Int("tenant-quota", 0, "serve: max inflight jobs per tenant (0 = unlimited)")
+		poolSlots   = flag.Int("pool-slots", specrt.DefaultPoolSlots, "serve: warmed worker spaces retained per program")
 	)
 	flag.Parse()
 	buildHook = *optimize
 	whyMisspec = *whyMiss
+	if *mode == "serve" {
+		if err := runService(*serve, *workers, *queueDepth, *concurrency, *tenantQuota, *poolSlots); err != nil {
+			fmt.Fprintln(os.Stderr, "privateer:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve != "" {
 		if err := startServe(*serve); err != nil {
 			fmt.Fprintln(os.Stderr, "privateer:", err)
@@ -128,6 +143,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "privateer:", err)
 		os.Exit(1)
 	}
+}
+
+// runService runs the process as a long-lived multi-tenant region service:
+// the submit/poll API and the introspection endpoints share one listener,
+// and SIGINT/SIGTERM triggers a graceful drain before exit.
+func runService(addr string, workers, queueDepth, concurrency, tenantQuota, poolSlots int) error {
+	if addr == "" {
+		addr = ":6060"
+	}
+	reg := obs.NewRegistry()
+	srv := obs.NewServer(reg)
+	srv.SetSpec(specrt.LatestSpec)
+	svc := service.New(service.Config{
+		Workers:        workers,
+		Concurrency:    concurrency,
+		QueueDepth:     queueDepth,
+		TenantInflight: tenantQuota,
+		PoolSlots:      poolSlots,
+		Metrics:        reg,
+	})
+	svc.Mount(srv)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "privateer: region service listening on http://%s\n", bound)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Fprintln(os.Stderr, "privateer: draining region service")
+	svc.Drain()
+	return srv.Close()
 }
 
 // runIRFile parses a textual-IR module, parallelizes it automatically and

@@ -33,17 +33,45 @@ type Program struct {
 // on first call.
 func NewProgram(mod *ir.Module) *Program { return &Program{Mod: mod} }
 
+// progCache is the process-wide module->Program table behind SharedProgram.
+var progCache sync.Map // *ir.Module -> *Program
+
+// SharedProgram returns the process-wide decoded Program for mod, creating
+// it on first use. Concurrent region invocations over the same module (the
+// multi-tenant service's steady state) share one decode cache this way, so
+// each function decodes once per process rather than once per invocation.
+// The module must not be mutated once it is executing through a shared
+// Program; compile-time passes run before the first invocation.
+func SharedProgram(mod *ir.Module) *Program {
+	if v, ok := progCache.Load(mod); ok {
+		return v.(*Program)
+	}
+	v, _ := progCache.LoadOrStore(mod, NewProgram(mod))
+	return v.(*Program)
+}
+
 // decodedFor returns the decoded form of fn, decoding (or re-decoding after
-// IR mutation) as needed.
+// IR mutation) as needed. Concurrent first calls may race to decode the same
+// function; LoadOrStore makes them converge on a single decoded object, so
+// interpreters sharing the Program never observe two forms of one function.
 func (p *Program) decodedFor(fn *ir.Function) *decodedFunc {
 	if v, ok := p.funcs.Load(fn); ok {
 		df := v.(*decodedFunc)
 		if df.shapeMatches(fn) {
 			return df
 		}
+		// The IR changed shape since the cached decode (a mutation pass ran
+		// between invocations): replace the stale entry.
+		df = decodeFunc(fn)
+		p.funcs.Store(fn, df)
+		return df
 	}
 	df := decodeFunc(fn)
-	p.funcs.Store(fn, df)
+	if v, raced := p.funcs.LoadOrStore(fn, df); raced {
+		if cached := v.(*decodedFunc); cached.shapeMatches(fn) {
+			return cached
+		}
+	}
 	return df
 }
 

@@ -177,6 +177,31 @@ func NewShared(prog *Program, as *vm.AddressSpace) *Interp {
 // Program exposes the interpreter's decode cache for sharing via NewShared.
 func (it *Interp) Program() *Program { return it.prog }
 
+// Recycle resets a pooled interpreter for a fresh activation over as, which
+// the caller has already re-targeted (vm.AddressSpace.RecloneFrom): hooks,
+// output, step counters, profiler arming and the adopted global layout are
+// cleared, while the shared decode cache and the map capacity grown on
+// earlier runs are retained. The speculative runtime's warmed worker pool
+// uses it so a reused worker observes nothing from the invocation that
+// previously ran on it; the caller re-adopts a layout and reinstalls hooks
+// exactly as it would on a freshly constructed interpreter.
+func (it *Interp) Recycle(as *vm.AddressSpace) {
+	it.AS = as
+	it.Hooks = Hooks{}
+	it.Out.Reset()
+	it.StepLimit = 0
+	it.Steps = 0
+	it.MaxDepth = 0
+	it.Prof = nil
+	it.globalsLaidOut = false
+	clear(it.globalAddrs)
+	it.hookMask = 0
+	it.profNext = 0
+	it.profLastSteps = 0
+	it.profLast = time.Time{}
+	it.profArmed = false
+}
+
 // SetTreeWalk forces (true) or releases (false) the tree-walking reference
 // executor. Differential tests use it to check the decoded dispatch path
 // against the original semantics instruction for instruction.

@@ -45,6 +45,15 @@ func (s *Server) SetSpec(fn func() any) {
 	s.spec.Store(fn)
 }
 
+// Handle mounts handler at pattern on the server's private mux, alongside
+// the built-in introspection endpoints. The region service uses it to
+// expose its submit/poll API through the same listener. Patterns follow
+// http.ServeMux semantics; registering a pattern twice panics, as it does
+// on any ServeMux. Call before Start.
+func (s *Server) Handle(pattern string, handler http.Handler) {
+	s.mux.Handle(pattern, handler)
+}
+
 // Handler returns the server's mux, for embedding or tests.
 func (s *Server) Handler() http.Handler { return s.mux }
 

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"privateer/internal/obs"
+)
+
+// SubmitRequest is the POST /submit body.
+type SubmitRequest struct {
+	// Tenant attributes the job ("" = "default").
+	Tenant string `json:"tenant"`
+	// Prog names one of the five benchmark programs.
+	Prog string `json:"prog"`
+	// Input is the input class: train, ref (default), alt or huge.
+	Input string `json:"input"`
+}
+
+// errorReply is the JSON body of every non-2xx API response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// Mount registers the service API on srv's listener, alongside the
+// introspection endpoints: POST /submit, GET /poll?id=..., GET /service.
+// Call before srv.Start.
+func (s *Service) Mount(srv *obs.Server) {
+	srv.Handle("/submit", http.HandlerFunc(s.handleSubmit))
+	srv.Handle("/poll", http.HandlerFunc(s.handlePoll))
+	srv.Handle("/service", http.HandlerFunc(s.handleSnapshot))
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSubmit admits a job: 202 with the job snapshot, 400 on a malformed
+// body or unknown program, 429 on quota or queue backpressure (with
+// Retry-After), 503 once draining.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorReply{"POST only"})
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{"bad JSON: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(req.Tenant, req.Prog, req.Input)
+	if err != nil {
+		var unknown *UnknownProgramError
+		var quota *QuotaError
+		var full *QueueFullError
+		switch {
+		case errors.As(err, &unknown):
+			writeJSON(w, http.StatusBadRequest, errorReply{err.Error()})
+		case errors.As(err, &quota), errors.As(err, &full):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorReply{err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorReply{err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorReply{err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.View(job))
+}
+
+// handlePoll reports one job: 200 with the snapshot, 404 for an unknown
+// ID, 400 without one.
+func (s *Service) handlePoll(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorReply{"missing id parameter"})
+		return
+	}
+	job, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{"no job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.View(job))
+}
+
+// handleSnapshot reports service-level state (queue, tenants, pools).
+func (s *Service) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

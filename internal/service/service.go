@@ -1,0 +1,542 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privateer/internal/core"
+	"privateer/internal/interp"
+	"privateer/internal/obs"
+	"privateer/internal/progs"
+	"privateer/internal/specrt"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultQueueDepth bounds the pending-job queue.
+	DefaultQueueDepth = 64
+	// DefaultConcurrency is the number of runner goroutines (concurrent
+	// region invocations).
+	DefaultConcurrency = 4
+	// DefaultWorkers is the speculative worker fleet per invocation.
+	DefaultWorkers = 4
+)
+
+// ErrDraining rejects work submitted (or still queued) after Drain began.
+var ErrDraining = errors.New("service draining: not accepting jobs")
+
+// QueueFullError rejects a submission that found the bounded queue at
+// capacity: the client should back off and retry.
+type QueueFullError struct {
+	// Depth is the queue's capacity.
+	Depth int
+}
+
+// Error describes the rejection, naming the saturated depth.
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("queue full (depth %d): retry later", e.Depth)
+}
+
+// QuotaError rejects a submission that would exceed the tenant's inflight
+// quota (queued + running jobs).
+type QuotaError struct {
+	// Tenant is the over-quota tenant.
+	Tenant string
+	// Limit is the tenant's inflight cap.
+	Limit int
+}
+
+// Error describes the rejection, naming the tenant and its cap.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %q at inflight quota (%d jobs)", e.Tenant, e.Limit)
+}
+
+// UnknownProgramError rejects a submission naming a program or input class
+// the service does not serve.
+type UnknownProgramError struct {
+	// Name is the unrecognized program or input name.
+	Name string
+}
+
+// Error describes the rejection, naming the unrecognized identifier.
+func (e *UnknownProgramError) Error() string {
+	return fmt.Sprintf("unknown program or input %q", e.Name)
+}
+
+// Config sizes a Service. Zero values select the defaults above.
+type Config struct {
+	// Workers is the speculative worker fleet per region invocation.
+	Workers int
+	// Concurrency is the number of runner goroutines: at most this many
+	// region invocations execute at once.
+	Concurrency int
+	// QueueDepth bounds pending (admitted but not yet running) jobs;
+	// submissions beyond it fail with QueueFullError.
+	QueueDepth int
+	// TenantInflight caps one tenant's queued-plus-running jobs; 0 means
+	// no per-tenant quota.
+	TenantInflight int
+	// PoolSlots is the warmed worker-pool capacity per compiled program
+	// (0 selects specrt.DefaultPoolSlots).
+	PoolSlots int
+	// Pipeline enables the pipelined committer inside each invocation.
+	Pipeline bool
+	// Metrics, when non-nil, receives the service's tenant-labeled metric
+	// families alongside each invocation's runtime collectors.
+	Metrics *obs.Registry
+}
+
+// Job states reported by JobView.State.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is one admitted region invocation. Mutable fields are guarded by the
+// owning Service's mutex; external readers use View or Done.
+type Job struct {
+	// ID is the service-assigned job identifier.
+	ID string
+	// Tenant attributes the job to its submitter.
+	Tenant string
+	// Prog names the benchmark program to run.
+	Prog string
+	// Input is the program's input class.
+	Input string
+
+	state      string
+	ret        uint64
+	output     string
+	errMsg     string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	warmSpawns int64
+	done       chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is a point-in-time JSON snapshot of a job.
+type JobView struct {
+	// ID is the service-assigned job identifier.
+	ID string `json:"id"`
+	// Tenant attributes the job to its submitter.
+	Tenant string `json:"tenant"`
+	// Prog names the benchmark program.
+	Prog string `json:"prog"`
+	// Input is the program's input class.
+	Input string `json:"input"`
+	// State is queued, running, done or failed.
+	State string `json:"state"`
+	// Ret is the invocation's return value; meaningful when done.
+	Ret uint64 `json:"ret"`
+	// Output is the program's collected output; meaningful when done.
+	Output string `json:"output,omitempty"`
+	// Error describes a failed job.
+	Error string `json:"error,omitempty"`
+	// QueueNS is time spent queued before a runner picked the job up.
+	QueueNS int64 `json:"queue_ns"`
+	// WallNS is time spent executing (so far, for a running job).
+	WallNS int64 `json:"wall_ns"`
+	// WarmSpawns counts this invocation's pool-satisfied worker spawns.
+	WarmSpawns int64 `json:"warm_spawns"`
+}
+
+// compiled is the shared immutable state for one (program, input) pair:
+// the parallelized module, its process-wide decoded Program, and the
+// warmed worker pool every invocation of it draws from.
+type compiled struct {
+	once sync.Once
+	par  *core.Parallelized
+	prog *interp.Program
+	pool *specrt.WorkerPool
+	err  error
+}
+
+// tenantCounts aggregates one tenant's job traffic for Snapshot.
+type tenantCounts struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Inflight  int64 `json:"inflight"`
+}
+
+// Service is the multi-tenant region service: admission control in front
+// of a bounded queue drained by a fixed runner fleet.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	tenants  map[string]*tenantCounts
+	programs map[string]*compiled
+
+	queue     chan *Job
+	drainFlag atomic.Bool
+	// holdRunner, when non-nil, blocks each runner after it marks a job
+	// running and before it executes — a seam for tests that need a job
+	// pinned in flight (set before the first Submit; closed to release).
+	holdRunner chan struct{}
+	wg         sync.WaitGroup
+	nextID     atomic.Int64
+	inflight   atomic.Int64
+
+	mSubmitted func(tenant string) obs.Counter
+	mCompleted func(tenant string) obs.Counter
+	mFailed    func(tenant string) obs.Counter
+	mRejected  func(reason string) obs.Counter
+	mInflight  obs.Gauge
+	mWallNS    *obs.Histogram
+	mWarm      obs.Counter
+}
+
+// New starts a service: runner goroutines launch immediately and block on
+// the empty queue. Shut down with Drain.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = DefaultConcurrency
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Service{
+		cfg:      cfg,
+		jobs:     map[string]*Job{},
+		tenants:  map[string]*tenantCounts{},
+		programs: map[string]*compiled{},
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	reg := cfg.Metrics
+	s.mSubmitted = func(t string) obs.Counter {
+		return reg.Counter("privateer_service_jobs_submitted_total",
+			"Jobs admitted into the queue, by tenant.", "tenant", t)
+	}
+	s.mCompleted = func(t string) obs.Counter {
+		return reg.Counter("privateer_service_jobs_completed_total",
+			"Jobs finished successfully, by tenant.", "tenant", t)
+	}
+	s.mFailed = func(t string) obs.Counter {
+		return reg.Counter("privateer_service_jobs_failed_total",
+			"Jobs that reached a terminal error, by tenant.", "tenant", t)
+	}
+	s.mRejected = func(reason string) obs.Counter {
+		return reg.Counter("privateer_service_jobs_rejected_total",
+			"Submissions refused at admission, by reason (unknown_program, quota, queue_full, draining).",
+			"reason", reason)
+	}
+	s.mInflight = reg.Gauge("privateer_service_inflight",
+		"Region invocations currently executing.")
+	s.mWallNS = reg.Histogram("privateer_service_job_wall_ns",
+		"Wall-clock nanoseconds per job from admission to terminal state.", nil)
+	s.mWarm = reg.Counter("privateer_service_warm_spawns_total",
+		"Worker spawns satisfied from warmed pools across all invocations.")
+	reg.GaugeFunc("privateer_service_queue_depth",
+		"Jobs admitted but not yet running.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("privateer_service_draining",
+		"1 while a graceful drain is in progress, else 0.",
+		func() float64 {
+			if s.drainFlag.Load() {
+				return 1
+			}
+			return 0
+		})
+	for i := 0; i < cfg.Concurrency; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// lookup validates a program/input pair against the benchmark registry.
+func lookup(prog, input string) (*progs.Program, progs.Input, error) {
+	p := progs.ByName(prog)
+	if p == nil {
+		return nil, progs.Input{}, &UnknownProgramError{Name: prog}
+	}
+	switch input {
+	case "train":
+		return p, p.Train, nil
+	case "", "ref":
+		return p, p.Ref, nil
+	case "alt":
+		return p, p.Alt, nil
+	case "huge":
+		return p, p.Huge, nil
+	}
+	return nil, progs.Input{}, &UnknownProgramError{Name: input}
+}
+
+// Submit admits a job or returns a typed rejection: UnknownProgramError,
+// QuotaError, QueueFullError or ErrDraining. tenant "" is the tenant
+// "default"; input "" is the ref input class.
+func (s *Service) Submit(tenant, prog, input string) (*Job, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if input == "" {
+		input = "ref"
+	}
+	if _, _, err := lookup(prog, input); err != nil {
+		s.mRejected("unknown_program").Inc()
+		return nil, err
+	}
+	job := &Job{
+		Tenant: tenant, Prog: prog, Input: input,
+		state: StateQueued, submitted: time.Now(),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.mRejected("draining").Inc()
+		return nil, ErrDraining
+	}
+	tc := s.tenants[tenant]
+	if tc == nil {
+		tc = &tenantCounts{}
+		s.tenants[tenant] = tc
+	}
+	if q := s.cfg.TenantInflight; q > 0 && tc.Inflight >= int64(q) {
+		s.mu.Unlock()
+		s.mRejected("quota").Inc()
+		return nil, &QuotaError{Tenant: tenant, Limit: q}
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.mRejected("queue_full").Inc()
+		return nil, &QueueFullError{Depth: cap(s.queue)}
+	}
+	job.ID = fmt.Sprintf("j%06d", s.nextID.Add(1))
+	s.jobs[job.ID] = job
+	tc.Submitted++
+	tc.Inflight++
+	s.mu.Unlock()
+	s.mSubmitted(tenant).Inc()
+	return job, nil
+}
+
+// Job returns the job with the given ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// View snapshots j for reporting.
+func (s *Service) View(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := JobView{
+		ID: j.ID, Tenant: j.Tenant, Prog: j.Prog, Input: j.Input,
+		State: j.state, Ret: j.ret, Output: j.output, Error: j.errMsg,
+		WarmSpawns: j.warmSpawns,
+	}
+	switch j.state {
+	case StateQueued:
+		v.QueueNS = int64(time.Since(j.submitted))
+	case StateRunning:
+		v.QueueNS = int64(j.started.Sub(j.submitted))
+		v.WallNS = int64(time.Since(j.started))
+	default:
+		v.QueueNS = int64(j.started.Sub(j.submitted))
+		v.WallNS = int64(j.finished.Sub(j.started))
+	}
+	return v
+}
+
+// Drain performs a graceful shutdown: no new submissions, still-queued
+// jobs fail with ErrDraining, in-flight invocations run to completion.
+// Returns when every runner has exited; idempotent.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.drainFlag.Store(true)
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// runner drains the queue, executing one invocation at a time.
+func (s *Service) runner() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		if s.drainFlag.Load() {
+			// Admitted before the drain, never started: typed rejection.
+			s.finish(job, 0, "", 0, ErrDraining)
+			continue
+		}
+		s.run(job)
+	}
+}
+
+// compiledFor returns (compiling on first use) the shared artifacts for a
+// program/input pair.
+func (s *Service) compiledFor(prog, input string) (*compiled, error) {
+	key := prog + "/" + input
+	s.mu.Lock()
+	c := s.programs[key]
+	if c == nil {
+		c = &compiled{}
+		s.programs[key] = c
+	}
+	s.mu.Unlock()
+	c.once.Do(func() {
+		p, in, err := lookup(prog, input)
+		if err != nil {
+			c.err = err
+			return
+		}
+		par, err := core.Parallelize(p.Build(in), core.Options{})
+		if err != nil {
+			c.err = fmt.Errorf("compiling %s/%s: %w", prog, input, err)
+			return
+		}
+		c.par = par
+		c.prog = interp.SharedProgram(par.Mod)
+		c.pool = specrt.NewWorkerPool(s.cfg.PoolSlots)
+	})
+	return c, c.err
+}
+
+// run executes one admitted job through the speculative runtime.
+func (s *Service) run(job *Job) {
+	s.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	s.mu.Unlock()
+	if s.holdRunner != nil {
+		<-s.holdRunner
+	}
+	s.inflight.Add(1)
+	s.mInflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.mInflight.Add(-1)
+	}()
+
+	c, err := s.compiledFor(job.Prog, job.Input)
+	if err != nil {
+		s.finish(job, 0, "", 0, err)
+		return
+	}
+	rt, ret, err := core.Run(c.par, specrt.Config{
+		Workers:  s.cfg.Workers,
+		Pipeline: s.cfg.Pipeline,
+		Program:  c.prog,
+		Pool:     c.pool,
+		Metrics:  s.cfg.Metrics,
+	})
+	var out string
+	var warm int64
+	if rt != nil {
+		out = rt.Output()
+		warm = rt.Stats.Snapshot().WarmSpawns
+	}
+	s.finish(job, ret, out, warm, err)
+}
+
+// finish moves a job to its terminal state and settles the accounting.
+func (s *Service) finish(job *Job, ret uint64, out string, warm int64, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	if job.started.IsZero() {
+		job.started = now
+	}
+	job.finished = now
+	job.ret = ret
+	job.output = out
+	job.warmSpawns = warm
+	tc := s.tenants[job.Tenant]
+	tc.Inflight--
+	if err != nil {
+		job.state = StateFailed
+		job.errMsg = err.Error()
+		tc.Failed++
+	} else {
+		job.state = StateDone
+		tc.Completed++
+	}
+	wall := int64(now.Sub(job.submitted))
+	s.mu.Unlock()
+	if err != nil {
+		s.mFailed(job.Tenant).Inc()
+	} else {
+		s.mCompleted(job.Tenant).Inc()
+	}
+	s.mWallNS.Observe(wall)
+	s.mWarm.Add(warm)
+	close(job.done)
+}
+
+// PoolView is one compiled program's pool traffic in a Snapshot.
+type PoolView struct {
+	// Program is the "prog/input" cache key.
+	Program string `json:"program"`
+	// Pool is the warmed worker pool's traffic counters.
+	Pool specrt.WorkerPoolStats `json:"pool"`
+}
+
+// Snapshot is the service-level state document served at /service.
+type Snapshot struct {
+	// Draining is true once a graceful drain has begun.
+	Draining bool `json:"draining"`
+	// QueueDepth is the number of admitted-but-not-running jobs.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCap is the queue's bound.
+	QueueCap int `json:"queue_cap"`
+	// Inflight is the number of invocations executing right now.
+	Inflight int64 `json:"inflight"`
+	// Jobs counts every job the service still remembers.
+	Jobs int `json:"jobs"`
+	// Tenants maps tenant name to its traffic counts.
+	Tenants map[string]tenantCounts `json:"tenants"`
+	// Programs lists the compiled-program cache with per-program warmed
+	// pool traffic, sorted by cache key.
+	Programs []PoolView `json:"programs"`
+}
+
+// Snapshot reports the service's current state.
+func (s *Service) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn := Snapshot{
+		Draining:   s.draining,
+		QueueDepth: len(s.queue),
+		QueueCap:   cap(s.queue),
+		Inflight:   s.inflight.Load(),
+		Jobs:       len(s.jobs),
+		Tenants:    map[string]tenantCounts{},
+	}
+	for name, tc := range s.tenants {
+		sn.Tenants[name] = *tc
+	}
+	for key, c := range s.programs {
+		pv := PoolView{Program: key}
+		if c.pool != nil {
+			pv.Pool = c.pool.Snapshot()
+		}
+		sn.Programs = append(sn.Programs, pv)
+	}
+	sort.Slice(sn.Programs, func(i, j int) bool {
+		return sn.Programs[i].Program < sn.Programs[j].Program
+	})
+	return sn
+}

@@ -39,6 +39,7 @@ func (s *Stats) Snapshot() Stats {
 		DeferredIO:          atomic.LoadInt64(&s.DeferredIO),
 		ProvenRangeBytes:    atomic.LoadInt64(&s.ProvenRangeBytes),
 		SepAuditViolations:  atomic.LoadInt64(&s.SepAuditViolations),
+		WarmSpawns:          atomic.LoadInt64(&s.WarmSpawns),
 		SpawnNS:             atomic.LoadInt64(&s.SpawnNS),
 		JoinNS:              atomic.LoadInt64(&s.JoinNS),
 		CheckpointNS:        atomic.LoadInt64(&s.CheckpointNS),
@@ -343,6 +344,8 @@ func (rt *RT) publishMetrics(reg *obs.Registry) {
 			func(s *Stats) int64 { return s.ProvenRangeBytes }),
 		mk("sep_audit_violations_total", "Static separation claims contradicted by the SepAudit oracle.",
 			func(s *Stats) int64 { return s.SepAuditViolations }),
+		mk("warm_spawns_total", "Worker spawns satisfied from the warmed pool.",
+			func(s *Stats) int64 { return s.WarmSpawns }),
 		mk("spawn_ns_total", "Wall-clock worker spawn time.",
 			func(s *Stats) int64 { return s.SpawnNS }),
 		mk("join_ns_total", "Master-side validate/install/commit critical path.",

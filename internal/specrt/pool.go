@@ -1,0 +1,119 @@
+package specrt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"privateer/internal/interp"
+	"privateer/internal/vm"
+)
+
+// DefaultPoolSlots is the per-program warmed-slot cap a WorkerPool uses
+// when constructed with a non-positive capacity: enough to keep a full
+// default worker fleet warm across back-to-back invocations without
+// letting an idle program pin unbounded memory.
+const DefaultPoolSlots = 32
+
+// warmSlot is one pooled worker's machinery: a released address space
+// (structure and map capacity retained, contents dropped) and its
+// interpreter over the shared decoded program. RecloneFrom/Recycle
+// re-target both at the next invocation's master.
+type warmSlot struct {
+	as *vm.AddressSpace
+	it *interp.Interp
+}
+
+// WorkerPool recycles warmed worker machinery across spans and region
+// invocations. Spawning a worker cold allocates an address-space clone and
+// an interpreter per spawn; a warmed spawn re-clones a pooled space in
+// place, reusing its TLB arrays, heap-state slots and the delta-map
+// capacity its allocator grew on earlier runs. Slots are keyed by decoded
+// Program so an interpreter is only ever recycled onto the module it was
+// built for. All methods are safe for concurrent use; the region service
+// shares one pool per compiled program across every tenant running it.
+type WorkerPool struct {
+	mu    sync.Mutex
+	slots map[*interp.Program][]*warmSlot
+	// perProgram caps retained slots per decoded program.
+	perProgram int
+
+	reuses   atomic.Int64
+	misses   atomic.Int64
+	returned atomic.Int64
+	dropped  atomic.Int64
+}
+
+// NewWorkerPool returns an empty pool retaining at most perProgram warmed
+// slots per decoded program (<= 0 selects DefaultPoolSlots).
+func NewWorkerPool(perProgram int) *WorkerPool {
+	if perProgram <= 0 {
+		perProgram = DefaultPoolSlots
+	}
+	return &WorkerPool{slots: map[*interp.Program][]*warmSlot{}, perProgram: perProgram}
+}
+
+// get pops a warmed slot for prog, or nil when the pool has none (the
+// caller then spawns cold).
+func (p *WorkerPool) get(prog *interp.Program) *warmSlot {
+	p.mu.Lock()
+	lst := p.slots[prog]
+	if n := len(lst); n > 0 {
+		s := lst[n-1]
+		lst[n-1] = nil
+		p.slots[prog] = lst[:n-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return s
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return nil
+}
+
+// put releases a slot's address space (dropping every page and allocator
+// reference from the invocation that used it, so the pool never pins a
+// dead invocation's memory) and parks it for the next get; slots beyond
+// the per-program cap are discarded.
+func (p *WorkerPool) put(prog *interp.Program, s *warmSlot) {
+	s.as.Release()
+	p.mu.Lock()
+	if len(p.slots[prog]) < p.perProgram {
+		p.slots[prog] = append(p.slots[prog], s)
+		p.mu.Unlock()
+		p.returned.Add(1)
+		return
+	}
+	p.mu.Unlock()
+	p.dropped.Add(1)
+}
+
+// WorkerPoolStats is a point-in-time snapshot of a pool's traffic.
+type WorkerPoolStats struct {
+	// Reuses counts gets satisfied from a warmed slot.
+	Reuses int64 `json:"reuses"`
+	// Misses counts gets that fell through to a cold spawn.
+	Misses int64 `json:"misses"`
+	// Returned counts slots parked back into the pool.
+	Returned int64 `json:"returned"`
+	// Dropped counts slots discarded at the per-program cap.
+	Dropped int64 `json:"dropped"`
+	// Retained is the number of slots currently parked across all
+	// programs.
+	Retained int64 `json:"retained"`
+}
+
+// Snapshot returns the pool's current traffic counters.
+func (p *WorkerPool) Snapshot() WorkerPoolStats {
+	st := WorkerPoolStats{
+		Reuses:   p.reuses.Load(),
+		Misses:   p.misses.Load(),
+		Returned: p.returned.Load(),
+		Dropped:  p.dropped.Load(),
+	}
+	p.mu.Lock()
+	for _, lst := range p.slots {
+		st.Retained += int64(len(lst))
+	}
+	p.mu.Unlock()
+	return st
+}

@@ -1,0 +1,94 @@
+package specrt
+
+import (
+	"testing"
+
+	"privateer/internal/interp"
+	"privateer/internal/vm"
+)
+
+// TestWarmPoolReuseBitIdentical runs the same compiled region repeatedly
+// over one shared decoded Program and warmed worker pool — the region
+// service's steady state — and checks that warmed spawns happen and that
+// every run's result still matches the sequential reference exactly.
+func TestWarmPoolReuseBitIdentical(t *testing.T) {
+	const n = 37
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mod := buildWriterModule(n)
+	ri := buildRegion(t, mod)
+	prog := interp.SharedProgram(mod)
+	pool := NewWorkerPool(0)
+	const runs = 5
+	for i := 0; i < runs; i++ {
+		rt := New(mod, Config{Workers: 4, CheckpointPeriod: 4,
+			Program: prog, Pool: pool}, ri)
+		got, err := rt.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("run %d: %d, want %d", i, got, want)
+		}
+		if rt.Stats.Misspecs != 0 {
+			t.Fatalf("run %d: unexpected misspecs %d", i, rt.Stats.Misspecs)
+		}
+		if i > 0 && rt.Stats.WarmSpawns == 0 {
+			t.Fatalf("run %d: no warmed spawns despite a populated pool", i)
+		}
+	}
+	st := pool.Snapshot()
+	if st.Reuses == 0 || st.Returned == 0 {
+		t.Fatalf("pool saw no traffic: %+v", st)
+	}
+	if st.Retained == 0 {
+		t.Fatalf("pool retained no slots after %d runs: %+v", runs, st)
+	}
+}
+
+// TestWarmPoolSurvivesMisspeculation checks that recycling worker machinery
+// does not disturb recovery: a run with forced misspeculation over a warmed
+// pool still produces the sequential result.
+func TestWarmPoolSurvivesMisspeculation(t *testing.T) {
+	const n = 37
+	seqIt := interp.New(buildWriterModule(n), vm.NewAddressSpace())
+	want, err := seqIt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := buildWriterModule(n)
+	ri := buildRegion(t, mod)
+	prog := interp.SharedProgram(mod)
+	pool := NewWorkerPool(0)
+	for i := 0; i < 3; i++ {
+		rt := New(mod, Config{Workers: 3, CheckpointPeriod: 2,
+			MisspecRate: 1.0, Seed: uint64(i + 1),
+			Program: prog, Pool: pool}, ri)
+		got, err := rt.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("run %d: %d, want %d", i, got, want)
+		}
+		if rt.Stats.Misspecs == 0 {
+			t.Fatalf("run %d: injection produced no misspeculation", i)
+		}
+	}
+}
+
+// TestConfigProgramModuleMismatch: a Program decoding a different module
+// must be rejected up front, not discovered as corrupt execution.
+func TestConfigProgramModuleMismatch(t *testing.T) {
+	mod := buildWriterModule(5)
+	ri := buildRegion(t, mod)
+	other := interp.SharedProgram(buildWriterModule(5))
+	rt := New(mod, Config{Workers: 2, Program: other}, ri)
+	if _, err := rt.Run(); err == nil {
+		t.Fatal("mismatched Config.Program was not rejected")
+	}
+}

@@ -101,6 +101,19 @@ type Config struct {
 	// to the default lazy mode; used by the scale experiment as its
 	// before/after reference.
 	EagerClone bool
+	// Program, when non-nil, is the shared pre-decoded form of Mod that this
+	// runtime's master, workers and recovery interpreters execute (see
+	// interp.SharedProgram). Concurrent RT instances over the same module —
+	// the multi-tenant region service — share one decode cache this way.
+	// Program.Mod must be the runtime's module. Nil decodes privately, the
+	// single-invocation default.
+	Program *interp.Program
+	// Pool, when non-nil, recycles warmed worker machinery (address space +
+	// interpreter) across spans and invocations instead of constructing it
+	// fresh on every spawn, amortizing the per-spawn allocator clone. The
+	// pool is safe for concurrent use; the service shares one per compiled
+	// program. Nil spawns cold every time.
+	Pool *WorkerPool
 }
 
 // RegionInfo bundles the compiler artifacts for one parallel region.
@@ -152,6 +165,10 @@ type Stats struct {
 	// contradicting a static separation proof. Nonzero means an unsound
 	// proof reached the runtime; see RT.SepAuditReport.
 	SepAuditViolations int64
+	// WarmSpawns counts worker spawns satisfied from Config.Pool's warmed
+	// slots (a recycled address space re-cloned in place plus a recycled
+	// interpreter) rather than constructed cold.
+	WarmSpawns int64
 	// SpawnNS is wall-clock worker spawn time (nanoseconds, atomically
 	// accumulated, like every timing field below).
 	SpawnNS int64
@@ -344,7 +361,16 @@ func (rt *RT) onFree(fr *interp.Frame, in *ir.Instr, addr uint64) {
 
 // Run executes the program from its entry function.
 func (rt *RT) Run(args ...uint64) (uint64, error) {
-	master := interp.New(rt.Mod, vm.NewAddressSpace())
+	var master *interp.Interp
+	if p := rt.Cfg.Program; p != nil {
+		if p.Mod != rt.Mod {
+			return 0, fmt.Errorf("specrt: Config.Program decodes module %q, runtime executes %q",
+				p.Mod.Name, rt.Mod.Name)
+		}
+		master = interp.NewShared(p, vm.NewAddressSpace())
+	} else {
+		master = interp.New(rt.Mod, vm.NewAddressSpace())
+	}
 	if rt.Cfg.StepLimit > 0 {
 		master.StepLimit = rt.Cfg.StepLimit
 	}

@@ -212,6 +212,18 @@ func (sp *spanState) run() (*checkpoint, int64, error) {
 	atomic.AddInt64(&sim.RegionCapacity, int64(workers)*spanTime)
 	atomic.AddInt64(&sim.SpawnCost, spawn+join)
 
+	// Warmed-space recycling: every checkpoint contribution copied state
+	// out of the worker spaces (addWorkerState owns its pages and buffers;
+	// nothing downstream retains a worker-space reference), so once the
+	// fleet has joined the machinery can park in the pool for the next
+	// span's spawns.
+	if pool := rt.Cfg.Pool; pool != nil {
+		prog := rt.master.Program()
+		for _, w := range ws {
+			pool.put(prog, &warmSlot{as: w.as, it: w.it})
+		}
+	}
+
 	tr.Instant(obs.Event{Kind: obs.KPhase,
 		Invocation: sp.inv, Worker: -1, Iter: -1, Cause: "validate"})
 	if co := sp.committer; co != nil {
@@ -353,8 +365,24 @@ func newWorker(sp *spanState, id, stride int) (*worker, error) {
 	rt := sp.rt
 	w := &worker{sp: sp, id: id, stride: stride}
 	// Workers share the master's Stats so fork-style page-copy counts
-	// aggregate across the fleet (Figure 8 accounting).
-	w.as = rt.master.AS.CloneSharingStats()
+	// aggregate across the fleet (Figure 8 accounting). A warmed spawn
+	// re-clones a pooled address space over this master in place and
+	// recycles its interpreter — same semantics as the cold path below,
+	// minus the per-spawn allocation of TLB arrays, heap states and maps.
+	if pool := rt.Cfg.Pool; pool != nil {
+		if slot := pool.get(rt.master.Program()); slot != nil {
+			slot.as.RecloneFrom(rt.master.AS)
+			slot.it.Recycle(slot.as)
+			w.as, w.it = slot.as, slot.it
+			atomic.AddInt64(&rt.Stats.WarmSpawns, 1)
+		}
+	}
+	if w.as == nil {
+		w.as = rt.master.AS.CloneSharingStats()
+		// Sharing the master's decoded program means each region function
+		// is pre-decoded once per run, not once per worker per span.
+		w.it = interp.NewShared(rt.master.Program(), w.as)
+	}
 	w.as.TraceWorker = id
 	// Workers see the read-only heap as truly read-only, and the
 	// reduction heap starts at the operator's identity. A failure here
@@ -376,9 +404,6 @@ func newWorker(sp *spanState, id, stride int) (*worker, error) {
 			}
 		}
 	}
-	// Sharing the master's decoded program means each region function is
-	// pre-decoded once per run, not once per worker per span.
-	w.it = interp.NewShared(rt.master.Program(), w.as)
 	w.it.AdoptLayout(rt.master.GlobalLayout())
 	w.it.Prof = rt.Cfg.OpProf
 	if rt.Cfg.StepLimit > 0 {

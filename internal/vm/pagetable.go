@@ -256,17 +256,20 @@ func (as *AddressSpace) eagerOwn() {
 // and the scale experiment. Collected by a full walk; do not call it
 // concurrently with mutations of the same space.
 type PageTableStats struct {
-	// Levels and Fanout describe the tree geometry.
+	// Levels is the radix-tree depth.
 	Levels int `json:"levels"`
+	// Fanout is the per-node branching factor.
 	Fanout int `json:"fanout"`
-	// Nodes counts reachable radix nodes; OwnedNodes counts the subset this
-	// space owns (created since its last Clone).
-	Nodes      int64 `json:"nodes"`
+	// Nodes counts reachable radix nodes.
+	Nodes int64 `json:"nodes"`
+	// OwnedNodes counts the subset of nodes this space owns (created since
+	// its last Clone).
 	OwnedNodes int64 `json:"owned_nodes"`
-	// ResidentPages counts instantiated pages; DirtyPages counts pages
-	// dirtied since the last Clone (owned paths only).
+	// ResidentPages counts instantiated pages.
 	ResidentPages int64 `json:"resident_pages"`
-	DirtyPages    int64 `json:"dirty_pages"`
+	// DirtyPages counts pages dirtied since the last Clone (owned paths
+	// only).
+	DirtyPages int64 `json:"dirty_pages"`
 	// HeapResident breaks ResidentPages down per logical heap, in tag order.
 	HeapResident [ir.NumHeaps]int64 `json:"heap_resident"`
 }

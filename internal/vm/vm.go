@@ -28,6 +28,7 @@ const (
 	ProtReadWrite
 )
 
+// String renders the protection in ls -l style ("rw-", "r--", "---").
 func (p Prot) String() string {
 	switch p {
 	case ProtNone:
@@ -50,6 +51,7 @@ type Fault struct {
 	Reason string
 }
 
+// Error formats the fault as "<kind> fault at 0x<addr>: <reason>".
 func (f *Fault) Error() string {
 	kind := "load"
 	if f.Write {
@@ -225,6 +227,30 @@ func (hs *heapState) clone(eager bool) *heapState {
 		liveCount: hs.liveCount, allocBytes: hs.allocBytes}
 }
 
+// recloneFrom makes hs a clone of src in place, reusing hs's private delta
+// maps (cleared, capacity retained) instead of allocating fresh ones — the
+// allocator half of AddressSpace.RecloneFrom. Reuse is safe because freeze
+// moves any map a clone could share into the immutable base chain: a map
+// still referenced from a heapState has never been visible to another
+// space. The eager path mirrors clone's flat deep copy.
+func (hs *heapState) recloneFrom(src *heapState, eager bool) {
+	if eager {
+		free, objects := src.flatMaps()
+		*hs = heapState{brk: src.brk, free: free, objects: objects,
+			liveCount: src.liveCount, allocBytes: src.allocBytes}
+		return
+	}
+	src.freeze()
+	hs.brk = src.brk
+	hs.base = src.base
+	clear(hs.free)
+	clear(hs.used)
+	clear(hs.objects)
+	clear(hs.dead)
+	hs.liveCount = src.liveCount
+	hs.allocBytes = src.allocBytes
+}
+
 // objectSize resolves addr through the delta maps and the base chain,
 // returning its rounded size if live.
 func (hs *heapState) objectSize(addr uint64) (uint64, bool) {
@@ -273,8 +299,9 @@ type Stats struct {
 	PagesMapped int64
 	// PagesCopied counts copy-on-write duplications.
 	PagesCopied int64
-	// BytesRead and BytesWritten total access volume.
-	BytesRead    int64
+	// BytesRead totals load volume.
+	BytesRead int64
+	// BytesWritten totals store volume.
 	BytesWritten int64
 	// NodesCopied counts radix page-table nodes path-copied on first
 	// mutation under a shared subtree (range-COW splits).
@@ -341,10 +368,10 @@ type AddressSpace struct {
 	// Trace receives page-layer events (COW duplication, TLB flushes,
 	// protection faults); nil disables emission. Clones inherit the tracer.
 	Trace *obs.Tracer
-	// TraceWorker labels this space's events (-1 = master); TraceInv is the
-	// current region invocation (-1 = outside any region).
+	// TraceWorker labels this space's events (-1 = master).
 	TraceWorker int
-	TraceInv    int64
+	// TraceInv is the current region invocation (-1 = outside any region).
+	TraceInv int64
 }
 
 // addStat bumps one Stats counter, atomically when the Stats structure may
@@ -420,6 +447,64 @@ func (as *AddressSpace) CloneSharingStats() *AddressSpace {
 // a concurrent reader (a live metrics scrape) may load the counters with
 // sync/atomic while the space executes. CloneSharingStats implies it.
 func (as *AddressSpace) AtomicStats() { as.statsAtomic = true }
+
+// RecloneFrom re-targets as to be a fresh copy-on-write clone of parent —
+// semantically identical to parent.CloneSharingStats(), except that no new
+// AddressSpace, TLB arrays or heap-state slots are allocated: the receiver's
+// existing structure (including the delta-map capacity its allocator grew on
+// earlier runs) is reused in place. The region service's warmed worker pool
+// spawns recycled workers this way, amortizing the per-spawn allocation
+// churn across invocations. The receiver must not be aliased by any other
+// execution (a pooled space between uses); any state it held is discarded.
+func (as *AddressSpace) RecloneFrom(parent *AddressSpace) {
+	parent.statsAtomic = true
+	parent.epoch = nextEpoch()
+	parent.flushTLB("clone")
+	as.root = parent.root
+	as.epoch = nextEpoch()
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		as.heaps[h].recloneFrom(parent.heaps[h], parent.EagerClone)
+		as.prot[h] = parent.prot[h]
+	}
+	as.EagerClone = parent.EagerClone
+	as.Stats = parent.Stats
+	as.statsAtomic = true
+	as.Occ = nil
+	as.Trace = parent.Trace
+	as.TraceWorker = parent.TraceWorker
+	as.TraceInv = parent.TraceInv
+	as.flushTLB("reclone")
+	if as.EagerClone {
+		as.eagerOwn()
+	}
+}
+
+// Release detaches as from whatever parent it was recloned from: the radix
+// root is replaced by a fresh empty table and every heap returns to its
+// empty post-construction state, so a pooled space does not pin a dead
+// invocation's pages in memory while it waits for reuse. The structure
+// itself (TLB arrays, heap-state slots, delta-map capacity) is retained for
+// the next RecloneFrom.
+func (as *AddressSpace) Release() {
+	as.epoch = nextEpoch()
+	as.root = newInterior(as.epoch)
+	for h := ir.HeapKind(0); h < ir.NumHeaps; h++ {
+		hs := as.heaps[h]
+		hs.brk = h.Base() + PageSize
+		hs.base = nil
+		clear(hs.free)
+		clear(hs.used)
+		clear(hs.objects)
+		clear(hs.dead)
+		hs.liveCount, hs.allocBytes = 0, 0
+		as.prot[h] = ProtReadWrite
+	}
+	as.Stats = &Stats{}
+	as.statsAtomic = false
+	as.Occ = nil
+	as.Trace = nil
+	as.flushTLB("release")
+}
 
 // SetProt sets the protection of an entire logical heap, the granularity at
 // which Privateer manipulates page maps.
