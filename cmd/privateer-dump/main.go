@@ -10,17 +10,22 @@
 //	privateer-dump -prog enc-md5 -profile
 //	privateer-dump -prog enc-md5 -input huge -pagetable
 //	privateer-dump -prog enc-md5 -sep
+//	privateer-dump -flight -addr 127.0.0.1:6060
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"privateer/internal/core"
 	"privateer/internal/interp"
 	"privateer/internal/ir"
+	"privateer/internal/obs"
 	"privateer/internal/profiling"
 	"privateer/internal/progs"
 	"privateer/internal/vm"
@@ -37,12 +42,77 @@ func main() {
 		ptable   = flag.Bool("pagetable", false, "run the program sequentially and dump radix page-table occupancy and dirty-summary stats")
 		elision  = flag.Bool("elision", false, "dump the postprocess pass's per-category elision & promotion counters")
 		sep      = flag.Bool("sep", false, "dump the static separation prover's per-region proofs and discharged-machinery counters")
+		flight   = flag.Bool("flight", false, "fetch and pretty-print a running region service's flight recorder (/debug/flight)")
+		addr     = flag.String("addr", "127.0.0.1:6060", "region service address for -flight")
 	)
 	flag.Parse()
+	if *flight {
+		if err := dumpFlight(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, "privateer-dump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*progName, *input, *showIR, *heaps, *profile, *ptable, *elision, *sep, *outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "privateer-dump:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpFlight fetches a running service's /debug/flight document and prints
+// a postmortem digest: one header line per capture plus its attribution
+// rows and phase breakdown.
+func dumpFlight(addr string) error {
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get("http://" + addr + "/debug/flight")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/flight: %s", resp.Status)
+	}
+	var st obs.FlightState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding /debug/flight: %w", err)
+	}
+	fmt.Printf("flight recorder at %s: %d recorded, %d retained (capacity %d)\n",
+		addr, st.Total, st.Retained, st.Capacity)
+	for reason, n := range st.ByReason {
+		fmt.Printf("  %-10s %d\n", reason, n)
+	}
+	for _, pm := range st.Postmortems {
+		id := pm.JobID
+		if id == "" {
+			id = "(not admitted)"
+		}
+		fmt.Printf("\n%s  %s  tenant=%s prog=%s/%s  at %s\n",
+			id, pm.Reason, pm.Tenant, pm.Prog, pm.Input,
+			time.Unix(0, pm.UnixNS).Format(time.RFC3339))
+		if pm.Error != "" {
+			fmt.Printf("  error: %s\n", pm.Error)
+		}
+		if pm.Misspecs > 0 || pm.Fallbacks > 0 {
+			fmt.Printf("  misspecs %d, sequential fallbacks %d\n", pm.Misspecs, pm.Fallbacks)
+		}
+		for _, at := range pm.Attribution {
+			fmt.Printf("  x%-6d %-24s %s", at.Count, at.Cause, at.Region)
+			if at.Object != "" {
+				fmt.Printf("  object %s", at.Object)
+			}
+			if at.Site != "" {
+				fmt.Printf("  @ %s", at.Site)
+			}
+			fmt.Println()
+		}
+		for _, ps := range pm.Phases {
+			fmt.Printf("  phase %-10s %8.3f ms  (%d events)\n",
+				ps.Phase, float64(ps.NS)/1e6, ps.Count)
+		}
+		fmt.Printf("  events captured %d of %d emitted (%d dropped by the ring)\n",
+			len(pm.Events), pm.TotalEvents, pm.DroppedEvents)
+	}
+	return nil
 }
 
 // dumpPageTable runs p sequentially and prints the resulting address

@@ -116,12 +116,15 @@ func main() {
 		concurrency = flag.Int("concurrency", service.DefaultConcurrency, "serve: concurrent region invocations")
 		tenantQuota = flag.Int("tenant-quota", 0, "serve: max inflight jobs per tenant (0 = unlimited)")
 		poolSlots   = flag.Int("pool-slots", specrt.DefaultPoolSlots, "serve: warmed worker spaces retained per program")
+		traceCap    = flag.Int("trace-capacity", 0, "serve: per-job trace ring capacity in events (0 = default, negative disables tracing)")
+		flightCap   = flag.Int("flight-entries", 0, "serve: postmortems retained by the flight recorder (0 = default)")
 	)
 	flag.Parse()
 	buildHook = *optimize
 	whyMisspec = *whyMiss
 	if *mode == "serve" {
-		if err := runService(*serve, *workers, *queueDepth, *concurrency, *tenantQuota, *poolSlots); err != nil {
+		if err := runService(*serve, *workers, *queueDepth, *concurrency,
+			*tenantQuota, *poolSlots, *traceCap, *flightCap, *misspec, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "privateer:", err)
 			os.Exit(1)
 		}
@@ -148,7 +151,8 @@ func main() {
 // runService runs the process as a long-lived multi-tenant region service:
 // the submit/poll API and the introspection endpoints share one listener,
 // and SIGINT/SIGTERM triggers a graceful drain before exit.
-func runService(addr string, workers, queueDepth, concurrency, tenantQuota, poolSlots int) error {
+func runService(addr string, workers, queueDepth, concurrency, tenantQuota,
+	poolSlots, traceCap, flightCap int, misspec float64, seed uint64) error {
 	if addr == "" {
 		addr = ":6060"
 	}
@@ -162,6 +166,10 @@ func runService(addr string, workers, queueDepth, concurrency, tenantQuota, pool
 		TenantInflight: tenantQuota,
 		PoolSlots:      poolSlots,
 		Metrics:        reg,
+		TraceCapacity:  traceCap,
+		FlightEntries:  flightCap,
+		MisspecRate:    misspec,
+		Seed:           seed,
 	})
 	svc.Mount(srv)
 	bound, err := srv.Start(addr)

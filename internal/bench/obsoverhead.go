@@ -4,19 +4,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
 	"privateer/internal/interp"
+	"privateer/internal/service"
 	"privateer/internal/vm"
 )
 
-// The obsoverhead experiment quantifies what the sampling per-opcode
-// profiler costs on the interpreter's hottest path. It runs the same
-// register-only dispatch microbenchmark with the profiler detached and
-// attached, interleaving rounds so host-side drift (frequency scaling, GC)
-// hits both configurations equally, and reports the relative slowdown. The
-// acceptance bar for the profiler is <5% dispatch overhead.
+// The obsoverhead experiment quantifies what observability costs where it
+// could hurt: the sampling per-opcode profiler on the interpreter's hottest
+// path, and per-job flight-recorder tracing on the region service's job
+// path. Each comparison runs the same workload with the instrument detached
+// and attached, interleaving rounds so host-side drift (frequency scaling,
+// GC) hits both configurations equally, and reports the relative slowdown.
+// The acceptance bar is <5% overhead for both rows.
 
 // ObsOverheadReport is the profiler-overhead measurement.
 type ObsOverheadReport struct {
@@ -37,6 +40,16 @@ type ObsOverheadReport struct {
 	// profiled run (the unattributed tail after each run's last sample) —
 	// a self-check that sampling attribution covers the stream.
 	ProfiledExecuted int64 `json:"profiled_executed"`
+	// ServiceBaselineNSPerJob is the region service's per-job cost with
+	// per-job tracing disabled.
+	ServiceBaselineNSPerJob float64 `json:"service_baseline_ns_per_job"`
+	// ServiceTracedNSPerJob is the per-job cost with the flight recorder's
+	// per-job tracing (the default) enabled.
+	ServiceTracedNSPerJob float64 `json:"service_traced_ns_per_job"`
+	// ServiceOverheadPct is the service-path tracing slowdown in percent.
+	ServiceOverheadPct float64 `json:"service_overhead_pct"`
+	// ServiceJobs is the number of jobs each service leg executed.
+	ServiceJobs int64 `json:"service_jobs"`
 }
 
 // JSON renders the report as machine-readable JSON.
@@ -59,6 +72,14 @@ func (r *ObsOverheadReport) Format() string {
 			fmt.Sprintf("%+.1f%%", r.OverheadPct)},
 	}
 	sb.WriteString(table([]string{"configuration", "ns/instr", "overhead"}, rows))
+	sb.WriteString(fmt.Sprintf("\nService-path tracing (%d jobs per leg, wall clock)\n\n",
+		r.ServiceJobs))
+	srows := [][]string{
+		{"untraced", fmt.Sprintf("%.0f", r.ServiceBaselineNSPerJob), "-"},
+		{"traced", fmt.Sprintf("%.0f", r.ServiceTracedNSPerJob),
+			fmt.Sprintf("%+.1f%%", r.ServiceOverheadPct)},
+	}
+	sb.WriteString(table([]string{"configuration", "ns/job", "overhead"}, srows))
 	return sb.String()
 }
 
@@ -125,5 +146,120 @@ func RunObsOverhead() (*ObsOverheadReport, error) {
 		rep.OverheadPct = (rep.ProfiledNSPerOp - rep.BaselineNSPerOp) /
 			rep.BaselineNSPerOp * 100
 	}
+	if err := measureServiceOverhead(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// obsServiceJob pushes one job through svc and returns its wall time.
+// Serial submission keeps queue wait out of the measurement: the cost
+// under test is the per-job service machinery (ring allocation, event
+// emission, phase summarization), not scheduling.
+func obsServiceJob(svc *service.Service) (time.Duration, error) {
+	t0 := time.Now()
+	job, err := svc.Submit("bench", "dijkstra", "train")
+	if err != nil {
+		return 0, err
+	}
+	<-job.Done()
+	wall := time.Since(t0)
+	v := svc.View(job)
+	if v.State != service.StateDone {
+		return 0, fmt.Errorf("job %s %s: %s", job.ID, v.State, v.Error)
+	}
+	return wall, nil
+}
+
+// measureServiceOverhead fills in the service-path tracing rows: the same
+// job stream through two real services, one with per-job tracing disabled
+// and one with the always-on default. Each iteration runs a small batch
+// of jobs through both legs back to back (order flipping every iteration)
+// and the overhead estimate is the median of the per-pair batch-mean
+// deltas over the median baseline: batching averages out per-job
+// scheduling jitter, which is far larger than the per-job tracing cost,
+// while pairing cancels the slow host drift the batches share.
+func measureServiceOverhead(rep *ObsOverheadReport) error {
+	const (
+		batches      = 16
+		jobsPerBatch = 6
+		benchSeed    = 0xC0FFEE
+		poolWorkers  = 4
+	)
+	mk := func(traceCap int) *service.Service {
+		return service.New(service.Config{
+			Workers: poolWorkers, Concurrency: 1,
+			TraceCapacity: traceCap, Seed: benchSeed,
+		})
+	}
+	baseSvc, tracedSvc := mk(-1), mk(0)
+	defer baseSvc.Drain()
+	defer tracedSvc.Drain()
+	// Untimed warmups absorb program compilation and pool warming, which
+	// would otherwise land entirely on each leg's first batch.
+	for i := 0; i < 2; i++ {
+		if _, err := obsServiceJob(baseSvc); err != nil {
+			return fmt.Errorf("obsoverhead service warmup: %w", err)
+		}
+		if _, err := obsServiceJob(tracedSvc); err != nil {
+			return fmt.Errorf("obsoverhead service warmup: %w", err)
+		}
+	}
+	batch := func(svc *service.Service) (float64, error) {
+		var total time.Duration
+		for j := 0; j < jobsPerBatch; j++ {
+			wall, err := obsServiceJob(svc)
+			if err != nil {
+				return 0, err
+			}
+			total += wall
+		}
+		return float64(total.Nanoseconds()) / jobsPerBatch, nil
+	}
+	baseNS := make([]float64, 0, batches)
+	deltaNS := make([]float64, 0, batches)
+	for i := 0; i < batches; i++ {
+		legs := []*service.Service{baseSvc, tracedSvc}
+		if i%2 == 1 {
+			legs[0], legs[1] = legs[1], legs[0]
+		}
+		var pairNS [2]float64
+		for li, svc := range legs {
+			ns, err := batch(svc)
+			if err != nil {
+				return fmt.Errorf("obsoverhead service leg: %w", err)
+			}
+			pairNS[li] = ns
+		}
+		b, t := pairNS[0], pairNS[1]
+		if i%2 == 1 {
+			b, t = t, b
+		}
+		baseNS = append(baseNS, b)
+		deltaNS = append(deltaNS, t-b)
+	}
+	base := median(baseNS)
+	delta := median(deltaNS)
+	rep.ServiceJobs = batches * jobsPerBatch
+	rep.ServiceBaselineNSPerJob = base
+	rep.ServiceTracedNSPerJob = base + delta
+	if base > 0 {
+		rep.ServiceOverheadPct = delta / base * 100
+	}
+	return nil
+}
+
+// median returns the middle value of xs (mean of the middle two for even
+// lengths); 0 for an empty slice.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }

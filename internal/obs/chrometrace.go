@@ -65,26 +65,32 @@ func chromeArgs(ev Event) map[string]any {
 	return args
 }
 
+// chromeEventOf converts one obs event into its trace_event form: spans
+// become complete ("X") slices, instants become thread-scoped "i" marks.
+func chromeEventOf(ev Event) chromeEvent {
+	ce := chromeEvent{
+		Name: chromeName(ev),
+		Cat:  ev.Kind.String(),
+		TS:   float64(ev.TimeNS) / 1e3,
+		PID:  1,
+		TID:  int64(ev.Worker) + 1,
+		Args: chromeArgs(ev),
+	}
+	if ev.DurNS > 0 {
+		ce.Phase = "X"
+		ce.Dur = float64(ev.DurNS) / 1e3
+	} else {
+		ce.Phase = "i"
+		ce.Scope = "t"
+	}
+	return ce
+}
+
 // WriteChromeTrace renders events as a Chrome trace_event JSON document.
 func WriteChromeTrace(w io.Writer, events []Event) error {
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ns"}
 	for _, ev := range events {
-		ce := chromeEvent{
-			Name: chromeName(ev),
-			Cat:  ev.Kind.String(),
-			TS:   float64(ev.TimeNS) / 1e3,
-			PID:  1,
-			TID:  int64(ev.Worker) + 1,
-			Args: chromeArgs(ev),
-		}
-		if ev.DurNS > 0 {
-			ce.Phase = "X"
-			ce.Dur = float64(ev.DurNS) / 1e3
-		} else {
-			ce.Phase = "i"
-			ce.Scope = "t"
-		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out.TraceEvents = append(out.TraceEvents, chromeEventOf(ev))
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(out); err != nil {

@@ -15,11 +15,12 @@ import (
 // Go profiling handlers under /debug/pprof/. It uses only the standard
 // library and its own mux, so it never collides with http.DefaultServeMux.
 type Server struct {
-	reg  *Registry
-	spec atomic.Value // func() any
-	mux  *http.ServeMux
-	srv  *http.Server
-	ln   net.Listener
+	reg   *Registry
+	spec  atomic.Value // func() any
+	ready atomic.Value // func() bool
+	mux   *http.ServeMux
+	srv   *http.Server
+	ln    net.Listener
 }
 
 // NewServer returns a server exposing reg. reg may be nil (the metric
@@ -30,6 +31,8 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/vars", s.handleVars)
 	s.mux.HandleFunc("/spec", s.handleSpec)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -43,6 +46,15 @@ func NewServer(reg *Registry) *Server {
 // concurrent use. Passing nil restores the empty document.
 func (s *Server) SetSpec(fn func() any) {
 	s.spec.Store(fn)
+}
+
+// SetReady installs the readiness probe backing /readyz. The function is
+// called per request and must be safe for concurrent use; returning false
+// turns /readyz into a 503 so load balancers stop routing (the region
+// service flips it during drain). With no probe installed the server always
+// reports ready.
+func (s *Server) SetReady(fn func() bool) {
+	s.ready.Store(fn)
 }
 
 // Handle mounts handler at pattern on the server's private mux, alongside
@@ -89,7 +101,29 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /metrics      Prometheus text metrics")
 	fmt.Fprintln(w, "  /vars         expvar-style JSON metrics")
 	fmt.Fprintln(w, "  /spec         live speculation state (JSON)")
+	fmt.Fprintln(w, "  /healthz      liveness probe (always 200 while serving)")
+	fmt.Fprintln(w, "  /readyz       readiness probe (503 while draining)")
 	fmt.Fprintln(w, "  /debug/pprof/ Go runtime profiles")
+}
+
+// handleHealthz is the liveness probe: if the server can answer at all, it
+// is live.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 while the installed probe (if
+// any) reports ready, 503 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fn, _ := s.ready.Load().(func() bool)
+	if fn != nil && !fn() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // handleMetrics serves the Prometheus text exposition.

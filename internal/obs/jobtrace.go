@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJobTrace renders one job's event stream as a Chrome trace_event JSON
+// document. On top of the raw runtime events (as WriteChromeTrace emits
+// them) it adds process/thread metadata naming the job, and synthesizes one
+// summary slice per lifecycle phase on dedicated phase rows, so the queue
+// wait / spawn / run / validate / merge / commit decomposition is readable
+// at a glance in chrome://tracing without hunting through worker lanes.
+func WriteJobTrace(w io.Writer, jobID string, events []Event) error {
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+2*len(PhaseNames)+2),
+		DisplayTimeUnit: "ns",
+	}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "job " + jobID},
+	})
+	for _, ev := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEventOf(ev))
+	}
+	for i, ps := range SummarizePhases(events) {
+		tid := int64(100 + i)
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": "phase: " + ps.Phase},
+			},
+			chromeEvent{
+				Name:  "phase: " + ps.Phase,
+				Cat:   "phase",
+				Phase: "X",
+				TS:    float64(ps.FirstNS) / 1e3,
+				Dur:   max(float64(ps.LastNS-ps.FirstNS)/1e3, 0.001),
+				PID:   1,
+				TID:   tid,
+				Args:  map[string]any{"ns": ps.NS, "count": ps.Count},
+			})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: job trace encode: %w", err)
+	}
+	return nil
+}

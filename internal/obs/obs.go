@@ -67,8 +67,16 @@ const (
 	// speculative intervals after eager validation found a violation
 	// (Iter=violating checkpoint id, Cause=reason).
 	KCancel
+	// KSpawn is one span's whole fleet spawn as a single span (A=spawns
+	// satisfied from the warmed pool, B=fleet size, Cause="warm", "cold" or
+	// "mixed"); the per-worker KWorkerSpawn instants fall inside it.
+	KSpawn
+	// KJobPhase is a service-level job-lifecycle phase span (Cause = phase
+	// name, e.g. "queued"); the region service emits it around lifecycle
+	// stages the runtime itself cannot see.
+	KJobPhase
 
-	numKinds = int(KCancel) + 1
+	numKinds = int(KJobPhase) + 1
 )
 
 var kindNames = [numKinds]string{
@@ -93,6 +101,8 @@ var kindNames = [numKinds]string{
 	KValidateEager: "validate-eager",
 	KCommitAsync:   "commit-async",
 	KCancel:        "cancel",
+	KSpawn:         "spawn",
+	KJobPhase:      "job-phase",
 }
 
 // String names the kind for human-readable output.

@@ -264,6 +264,15 @@ var DefBuckets = []float64{
 	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
 }
 
+// LatencyBuckets is the bucket layout for nanosecond latency histograms:
+// powers of four from ~4 µs to ~69 s, wide enough that queue-dominated
+// service jobs (p99 approaching a minute under oversubscription) still land
+// below the +Inf bucket.
+var LatencyBuckets = []float64{
+	1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+	1 << 26, 1 << 28, 1 << 30, 1 << 32, 1 << 34, 1 << 36,
+}
+
 // Histogram registers (or finds) a histogram series with the given upper
 // bounds (nil means DefBuckets). Safe on a nil registry (returns nil,
 // which Observe tolerates).
@@ -331,7 +340,11 @@ func (r *Registry) WriteProm(w io.Writer) {
 		for _, k := range keys {
 			s := f.series[k]
 			switch {
-			case s.hist != nil:
+			case f.typ == "histogram":
+				// Every series under a histogram-typed family must render
+				// in histogram form — including series created by a
+				// mistyped registration that carry no *Histogram — or the
+				// exposition emits bare lines that scrapers reject.
 				writeHist(w, f.name, s)
 			case s.fn != nil:
 				fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
@@ -343,7 +356,10 @@ func (r *Registry) WriteProm(w io.Writer) {
 	}
 }
 
-// writeHist emits one histogram series: cumulative buckets, sum, count.
+// writeHist emits one histogram series: cumulative buckets, sum, count. A
+// series with no histogram attached (a mistyped registration under a
+// histogram family) renders as an empty histogram — a lone +Inf bucket,
+// zero sum and count — which is still format-valid.
 func writeHist(w io.Writer, name string, s *series) {
 	h := s.hist
 	base := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
@@ -352,6 +368,12 @@ func writeHist(w io.Writer, name string, s *series) {
 			return fmt.Sprintf(`{le="%s"}`, le)
 		}
 		return fmt.Sprintf(`{%s,le="%s"}`, base, le)
+	}
+	if h == nil {
+		fmt.Fprintf(w, "%s_bucket%s 0\n", name, joint("+Inf"))
+		fmt.Fprintf(w, "%s_sum%s 0\n", name, s.labels)
+		fmt.Fprintf(w, "%s_count%s 0\n", name, s.labels)
+		return
 	}
 	var cum int64
 	for i, b := range h.bounds {

@@ -8,14 +8,17 @@ import "sync"
 const DefaultCapacity = 1 << 14
 
 // Collector is a fixed-capacity ring-buffered Sink: when full, the oldest
-// events are overwritten, so a long run keeps its most recent window. It is
-// safe for concurrent Emit from worker goroutines.
+// events are overwritten, so a long run keeps its most recent window. The
+// backing buffer grows lazily up to the capacity, so many small streams (the
+// region service keeps one Collector per job) cost only what they record. It
+// is safe for concurrent Emit from worker goroutines.
 type Collector struct {
-	mu      sync.Mutex
-	buf     []Event
-	next    int   // index of the slot the next event lands in
-	total   int64 // events ever emitted (including overwritten)
-	wrapped bool
+	mu       sync.Mutex
+	buf      []Event
+	capacity int
+	next     int   // overwrite cursor once the buffer has filled
+	total    int64 // events ever emitted (including overwritten)
+	wrapped  bool
 }
 
 // NewCollector returns a collector holding up to capacity events;
@@ -24,16 +27,20 @@ func NewCollector(capacity int) *Collector {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Collector{buf: make([]Event, capacity)}
+	return &Collector{capacity: capacity}
 }
 
 // Emit records ev, overwriting the oldest event when the ring is full.
 func (c *Collector) Emit(ev Event) {
 	c.mu.Lock()
-	c.buf[c.next] = ev
-	c.next++
-	if c.next == len(c.buf) {
-		c.next = 0
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, ev)
+	} else {
+		c.buf[c.next] = ev
+		c.next++
+		if c.next == c.capacity {
+			c.next = 0
+		}
 		c.wrapped = true
 	}
 	c.total++
@@ -46,11 +53,18 @@ func (c *Collector) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.wrapped {
-		return append([]Event(nil), c.buf[:c.next]...)
+		return append([]Event(nil), c.buf...)
 	}
 	out := make([]Event, 0, len(c.buf))
 	out = append(out, c.buf[c.next:]...)
 	return append(out, c.buf[:c.next]...)
+}
+
+// Len returns the number of events currently retained.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
 }
 
 // Total returns the number of events ever emitted, including any that the
@@ -89,7 +103,7 @@ func (c *Collector) PublishMetrics(reg *Registry) {
 		total.Set(c.Total())
 		dropped.Set(c.Dropped())
 		c.mu.Lock()
-		capacity.Set(int64(len(c.buf)))
+		capacity.Set(int64(c.capacity))
 		c.mu.Unlock()
 	})
 }
@@ -97,6 +111,7 @@ func (c *Collector) PublishMetrics(reg *Registry) {
 // Reset discards every retained event.
 func (c *Collector) Reset() {
 	c.mu.Lock()
+	c.buf = c.buf[:0]
 	c.next = 0
 	c.total = 0
 	c.wrapped = false

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"privateer/internal/obs"
 )
@@ -24,12 +25,17 @@ type errorReply struct {
 }
 
 // Mount registers the service API on srv's listener, alongside the
-// introspection endpoints: POST /submit, GET /poll?id=..., GET /service.
-// Call before srv.Start.
+// introspection endpoints: POST /submit, GET /poll?id=..., GET /service,
+// GET /jobs/{id}/trace, GET /debug/flight. It also installs the readiness
+// probe backing /readyz, which flips to 503 during Drain. Call before
+// srv.Start.
 func (s *Service) Mount(srv *obs.Server) {
 	srv.Handle("/submit", http.HandlerFunc(s.handleSubmit))
 	srv.Handle("/poll", http.HandlerFunc(s.handlePoll))
 	srv.Handle("/service", http.HandlerFunc(s.handleSnapshot))
+	srv.Handle("/jobs/", http.HandlerFunc(s.handleJobTrace))
+	srv.Handle("/debug/flight", http.HandlerFunc(s.handleFlight))
+	srv.SetReady(func() bool { return !s.drainFlag.Load() })
 }
 
 // writeJSON renders v with the given status.
@@ -95,4 +101,30 @@ func (s *Service) handlePoll(w http.ResponseWriter, r *http.Request) {
 // handleSnapshot reports service-level state (queue, tenants, pools).
 func (s *Service) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// handleJobTrace serves GET /jobs/{id}/trace: the job's retained event
+// stream as Chrome trace_event JSON (load in chrome://tracing or
+// Perfetto), 404 for an unknown job or one submitted with tracing
+// disabled, 400 for any other /jobs/ path shape.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(strings.TrimPrefix(r.URL.Path, "/jobs/"), "/"), "/")
+	if len(parts) != 2 || parts[0] == "" || parts[1] != "trace" {
+		writeJSON(w, http.StatusBadRequest, errorReply{"want /jobs/{id}/trace"})
+		return
+	}
+	id := parts[0]
+	events, ok := s.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{"no trace for job " + id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = obs.WriteJobTrace(w, id, events)
+}
+
+// handleFlight serves GET /debug/flight: the flight recorder's retained
+// postmortems (newest first) with capture counts by reason.
+func (s *Service) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.State())
 }

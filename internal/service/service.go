@@ -24,6 +24,10 @@ const (
 	DefaultConcurrency = 4
 	// DefaultWorkers is the speculative worker fleet per invocation.
 	DefaultWorkers = 4
+	// DefaultTraceCapacity bounds each job's trace event ring. Per-job
+	// tracing is always on; the ring grows lazily, so a short job costs
+	// only the events it actually emits.
+	DefaultTraceCapacity = 2048
 )
 
 // ErrDraining rejects work submitted (or still queued) after Drain began.
@@ -88,6 +92,22 @@ type Config struct {
 	// Metrics, when non-nil, receives the service's tenant-labeled metric
 	// families alongside each invocation's runtime collectors.
 	Metrics *obs.Registry
+	// TraceCapacity bounds each job's trace event ring: 0 selects
+	// DefaultTraceCapacity, negative disables per-job tracing entirely
+	// (the obsoverhead benchmark's baseline leg uses that).
+	TraceCapacity int
+	// FlightEntries bounds the postmortem flight recorder ring (0 selects
+	// obs.DefaultFlightEntries).
+	FlightEntries int
+	// PostmortemEvents bounds how many trailing trace events one
+	// postmortem snapshots (0 selects obs.DefaultPostmortemEvents).
+	PostmortemEvents int
+	// MisspecRate injects artificial misspeculation into every invocation
+	// at the given per-iteration probability (forwarded to the runtime) —
+	// an operator drill knob for exercising the flight recorder.
+	MisspecRate float64
+	// Seed makes misspeculation injection deterministic.
+	Seed uint64
 }
 
 // Job states reported by JobView.State.
@@ -119,6 +139,17 @@ type Job struct {
 	finished   time.Time
 	warmSpawns int64
 	done       chan struct{}
+
+	// Per-job flight-recorder state: the bounded event ring the job's
+	// tracer feeds (the job ID is the trace ID), and the derived phase
+	// breakdown settled at finish.
+	trace        *obs.Collector
+	tracer       *obs.Tracer
+	phases       []obs.PhaseSpan
+	traceTotal   int64
+	traceDropped int64
+	misspecs     int64
+	fallbacks    int64
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -148,6 +179,20 @@ type JobView struct {
 	WallNS int64 `json:"wall_ns"`
 	// WarmSpawns counts this invocation's pool-satisfied worker spawns.
 	WarmSpawns int64 `json:"warm_spawns"`
+	// TraceID is the job's trace identifier (the job ID) when per-job
+	// tracing is enabled; GET /jobs/{id}/trace serves the full stream.
+	TraceID string `json:"trace_id,omitempty"`
+	// PhaseNS breaks the job's time down by lifecycle phase (queued,
+	// spawn, run, validate, merge, commit, recovery → summed span
+	// nanoseconds); settled when the job reaches a terminal state.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	// Misspecs counts the run's detected misspeculations.
+	Misspecs int64 `json:"misspecs"`
+	// TraceEvents is how many trace events the job emitted in all.
+	TraceEvents int64 `json:"trace_events"`
+	// TraceDropped is how many of those the bounded ring overwrote
+	// before they could be read.
+	TraceDropped int64 `json:"trace_dropped"`
 }
 
 // compiled is the shared immutable state for one (program, input) pair:
@@ -190,13 +235,20 @@ type Service struct {
 	nextID     atomic.Int64
 	inflight   atomic.Int64
 
-	mSubmitted func(tenant string) obs.Counter
-	mCompleted func(tenant string) obs.Counter
-	mFailed    func(tenant string) obs.Counter
-	mRejected  func(reason string) obs.Counter
-	mInflight  obs.Gauge
-	mWallNS    *obs.Histogram
-	mWarm      obs.Counter
+	flight *obs.FlightRecorder
+
+	mSubmitted    func(tenant string) obs.Counter
+	mCompleted    func(tenant string) obs.Counter
+	mFailed       func(tenant string) obs.Counter
+	mRejected     func(reason string) obs.Counter
+	mPhase        func(tenant, phase string) *obs.Histogram
+	mInflight     obs.Gauge
+	mWallNS       *obs.Histogram
+	mQueueWait    *obs.Histogram
+	mE2E          *obs.Histogram
+	mWarm         obs.Counter
+	mTraceEvents  obs.Counter
+	mTraceDropped obs.Counter
 }
 
 // New starts a service: runner goroutines launch immediately and block on
@@ -236,12 +288,29 @@ func New(cfg Config) *Service {
 			"Submissions refused at admission, by reason (unknown_program, quota, queue_full, draining).",
 			"reason", reason)
 	}
+	s.mPhase = func(tenant, phase string) *obs.Histogram {
+		return reg.Histogram("privateer_service_phase_ns",
+			"Per-job lifecycle-phase latency in nanoseconds, by tenant and phase (queued, spawn, run, validate, merge, commit, recovery).",
+			obs.LatencyBuckets, "tenant", tenant, "phase", phase)
+	}
 	s.mInflight = reg.Gauge("privateer_service_inflight",
 		"Region invocations currently executing.")
 	s.mWallNS = reg.Histogram("privateer_service_job_wall_ns",
 		"Wall-clock nanoseconds per job from admission to terminal state.", nil)
+	s.mQueueWait = reg.Histogram("privateer_service_queue_wait_ns",
+		"Nanoseconds each job waited in the queue before a runner picked it up.",
+		obs.LatencyBuckets)
+	s.mE2E = reg.Histogram("privateer_service_e2e_ns",
+		"End-to-end nanoseconds per job, submission to terminal state.",
+		obs.LatencyBuckets)
 	s.mWarm = reg.Counter("privateer_service_warm_spawns_total",
 		"Worker spawns satisfied from warmed pools across all invocations.")
+	s.mTraceEvents = reg.Counter("privateer_service_trace_events_total",
+		"Trace events emitted across all per-job rings, including overwritten ones.")
+	s.mTraceDropped = reg.Counter("privateer_service_trace_dropped_events_total",
+		"Trace events the bounded per-job rings overwrote before they could be read.")
+	s.flight = obs.NewFlightRecorder(cfg.FlightEntries)
+	s.flight.PublishMetrics(reg)
 	reg.GaugeFunc("privateer_service_queue_depth",
 		"Jobs admitted but not yet running.",
 		func() float64 { return float64(len(s.queue)) })
@@ -291,6 +360,7 @@ func (s *Service) Submit(tenant, prog, input string) (*Job, error) {
 	}
 	if _, _, err := lookup(prog, input); err != nil {
 		s.mRejected("unknown_program").Inc()
+		s.recordRejection(tenant, prog, input, err)
 		return nil, err
 	}
 	job := &Job{
@@ -298,10 +368,22 @@ func (s *Service) Submit(tenant, prog, input string) (*Job, error) {
 		state: StateQueued, submitted: time.Now(),
 		done: make(chan struct{}),
 	}
+	// Tracing is per job and on by default: the tracer's timebase starts
+	// here, so queue wait is the first thing the trace sees. The job ID
+	// (assigned under the lock below) doubles as the trace ID.
+	if s.cfg.TraceCapacity >= 0 {
+		capacity := s.cfg.TraceCapacity
+		if capacity == 0 {
+			capacity = DefaultTraceCapacity
+		}
+		job.trace = obs.NewCollector(capacity)
+		job.tracer = obs.NewTracer(job.trace)
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.mRejected("draining").Inc()
+		s.recordRejection(tenant, prog, input, ErrDraining)
 		return nil, ErrDraining
 	}
 	tc := s.tenants[tenant]
@@ -312,6 +394,7 @@ func (s *Service) Submit(tenant, prog, input string) (*Job, error) {
 	if q := s.cfg.TenantInflight; q > 0 && tc.Inflight >= int64(q) {
 		s.mu.Unlock()
 		s.mRejected("quota").Inc()
+		s.recordRejection(tenant, prog, input, &QuotaError{Tenant: tenant, Limit: q})
 		return nil, &QuotaError{Tenant: tenant, Limit: q}
 	}
 	select {
@@ -319,6 +402,7 @@ func (s *Service) Submit(tenant, prog, input string) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		s.mRejected("queue_full").Inc()
+		s.recordRejection(tenant, prog, input, &QueueFullError{Depth: cap(s.queue)})
 		return nil, &QueueFullError{Depth: cap(s.queue)}
 	}
 	job.ID = fmt.Sprintf("j%06d", s.nextID.Add(1))
@@ -345,7 +429,12 @@ func (s *Service) View(j *Job) JobView {
 	v := JobView{
 		ID: j.ID, Tenant: j.Tenant, Prog: j.Prog, Input: j.Input,
 		State: j.state, Ret: j.ret, Output: j.output, Error: j.errMsg,
-		WarmSpawns: j.warmSpawns,
+		WarmSpawns: j.warmSpawns, Misspecs: j.misspecs,
+		PhaseNS:     obs.PhaseTotals(j.phases),
+		TraceEvents: j.traceTotal, TraceDropped: j.traceDropped,
+	}
+	if j.trace != nil {
+		v.TraceID = j.ID
 	}
 	switch j.state {
 	case StateQueued:
@@ -380,7 +469,7 @@ func (s *Service) runner() {
 	for job := range s.queue {
 		if s.drainFlag.Load() {
 			// Admitted before the drain, never started: typed rejection.
-			s.finish(job, 0, "", 0, ErrDraining)
+			s.finish(job, runResult{err: ErrDraining})
 			continue
 		}
 		s.run(job)
@@ -422,6 +511,12 @@ func (s *Service) run(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	s.mu.Unlock()
+	// The queue-wait phase closes the moment a runner picks the job up;
+	// its span runs from the tracer's epoch (submission) to now.
+	if tr := job.tracer; tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KJobPhase, TimeNS: 0, DurNS: tr.Now(),
+			Invocation: -1, Worker: -1, Iter: -1, Cause: obs.PhaseQueued})
+	}
 	if s.holdRunner != nil {
 		<-s.holdRunner
 	}
@@ -434,57 +529,184 @@ func (s *Service) run(job *Job) {
 
 	c, err := s.compiledFor(job.Prog, job.Input)
 	if err != nil {
-		s.finish(job, 0, "", 0, err)
+		s.finish(job, runResult{err: err})
 		return
 	}
 	rt, ret, err := core.Run(c.par, specrt.Config{
-		Workers:  s.cfg.Workers,
-		Pipeline: s.cfg.Pipeline,
-		Program:  c.prog,
-		Pool:     c.pool,
-		Metrics:  s.cfg.Metrics,
+		Workers:     s.cfg.Workers,
+		Pipeline:    s.cfg.Pipeline,
+		Program:     c.prog,
+		Pool:        c.pool,
+		Metrics:     s.cfg.Metrics,
+		Trace:       job.tracer,
+		MisspecRate: s.cfg.MisspecRate,
+		Seed:        s.cfg.Seed,
 	})
-	var out string
-	var warm int64
+	res := runResult{ret: ret, err: err}
 	if rt != nil {
-		out = rt.Output()
-		warm = rt.Stats.Snapshot().WarmSpawns
+		res.out = rt.Output()
+		st := rt.Stats.Snapshot()
+		res.warm = st.WarmSpawns
+		res.misspecs = st.Misspecs
+		res.fallbacks = st.SequentialFallbacks
+		res.sites = rt.MisspecSites()
 	}
-	s.finish(job, ret, out, warm, err)
+	s.finish(job, res)
 }
 
-// finish moves a job to its terminal state and settles the accounting.
-func (s *Service) finish(job *Job, ret uint64, out string, warm int64, err error) {
+// runResult carries one invocation's outcome into finish: the return
+// value and output, warm-spawn and misspeculation accounting, the
+// misspeculation-attribution table, and the terminal error if any.
+type runResult struct {
+	ret       uint64
+	out       string
+	warm      int64
+	misspecs  int64
+	fallbacks int64
+	sites     []specrt.MisspecSiteRow
+	err       error
+}
+
+// finish moves a job to its terminal state and settles the accounting:
+// tenant counters, latency histograms, the job's phase breakdown, and —
+// when the job misspeculated, fell back, or failed — a flight-recorder
+// postmortem.
+func (s *Service) finish(job *Job, res runResult) {
 	now := time.Now()
+	var phases []obs.PhaseSpan
+	if job.trace != nil {
+		phases = obs.SummarizePhases(job.trace.Events())
+	}
 	s.mu.Lock()
 	if job.started.IsZero() {
 		job.started = now
 	}
 	job.finished = now
-	job.ret = ret
-	job.output = out
-	job.warmSpawns = warm
+	job.ret = res.ret
+	job.output = res.out
+	job.warmSpawns = res.warm
+	job.misspecs = res.misspecs
+	job.fallbacks = res.fallbacks
+	job.phases = phases
+	if job.trace != nil {
+		job.traceTotal = job.trace.Total()
+		job.traceDropped = job.trace.Dropped()
+	}
 	tc := s.tenants[job.Tenant]
 	tc.Inflight--
-	if err != nil {
+	if res.err != nil {
 		job.state = StateFailed
-		job.errMsg = err.Error()
+		job.errMsg = res.err.Error()
 		tc.Failed++
 	} else {
 		job.state = StateDone
 		tc.Completed++
 	}
 	wall := int64(now.Sub(job.submitted))
+	queueWait := int64(job.started.Sub(job.submitted))
+	traceTotal, traceDropped := job.traceTotal, job.traceDropped
 	s.mu.Unlock()
-	if err != nil {
+	if res.err != nil {
 		s.mFailed(job.Tenant).Inc()
 	} else {
 		s.mCompleted(job.Tenant).Inc()
 	}
 	s.mWallNS.Observe(wall)
-	s.mWarm.Add(warm)
+	s.mQueueWait.Observe(queueWait)
+	s.mE2E.Observe(wall)
+	s.mWarm.Add(res.warm)
+	s.mTraceEvents.Add(traceTotal)
+	s.mTraceDropped.Add(traceDropped)
+	for _, ps := range phases {
+		s.mPhase(job.Tenant, ps.Phase).Observe(ps.NS)
+	}
+	if reason := postmortemReason(res); reason != "" {
+		s.recordPostmortem(job, res, reason)
+	}
 	close(job.done)
 }
+
+// postmortemReason classifies a finished job for the flight recorder, or
+// returns "" for a clean run that needs no capture.
+func postmortemReason(res runResult) string {
+	switch {
+	case errors.Is(res.err, ErrDraining):
+		return "rejected"
+	case res.err != nil:
+		return "failed"
+	case res.fallbacks > 0:
+		return "fallback"
+	case res.misspecs > 0:
+		return "misspec"
+	}
+	return ""
+}
+
+// postmortemTail bounds a postmortem's event snapshot to the configured
+// trailing window.
+func (s *Service) postmortemTail(events []obs.Event) []obs.Event {
+	limit := s.cfg.PostmortemEvents
+	if limit <= 0 {
+		limit = obs.DefaultPostmortemEvents
+	}
+	if len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	return events
+}
+
+// recordPostmortem snapshots a troubled job — trace tail, phase breakdown,
+// misspeculation attribution — into the flight recorder.
+func (s *Service) recordPostmortem(job *Job, res runResult, reason string) {
+	pm := obs.Postmortem{
+		JobID: job.ID, Tenant: job.Tenant, Prog: job.Prog, Input: job.Input,
+		Reason: reason, UnixNS: time.Now().UnixNano(),
+		Misspecs: res.misspecs, Fallbacks: res.fallbacks,
+		Phases: job.phases,
+	}
+	if res.err != nil {
+		pm.Error = res.err.Error()
+	}
+	if job.trace != nil {
+		pm.Events = s.postmortemTail(job.trace.Events())
+		pm.TotalEvents = job.trace.Total()
+		pm.DroppedEvents = job.trace.Dropped()
+	}
+	for _, row := range res.sites {
+		pm.Attribution = append(pm.Attribution, obs.MisspecAttribution{
+			Region: row.Region, Cause: row.Cause, Site: row.Site,
+			Object: row.Object, Count: row.Count,
+		})
+	}
+	s.flight.Record(pm)
+}
+
+// recordRejection captures an admission rejection in the flight recorder:
+// no job ID was ever assigned, but the tenant's refused work is still
+// evidence worth keeping.
+func (s *Service) recordRejection(tenant, prog, input string, err error) {
+	s.flight.Record(obs.Postmortem{
+		Tenant: tenant, Prog: prog, Input: input,
+		Reason: "rejected", Error: err.Error(),
+		UnixNS: time.Now().UnixNano(),
+	})
+}
+
+// Trace returns a completed or in-flight job's retained trace events. The
+// second result is false when the ID is unknown or the job was submitted
+// with tracing disabled.
+func (s *Service) Trace(id string) ([]obs.Event, bool) {
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil || job.trace == nil {
+		return nil, false
+	}
+	return job.trace.Events(), true
+}
+
+// Flight returns the service's flight recorder.
+func (s *Service) Flight() *obs.FlightRecorder { return s.flight }
 
 // PoolView is one compiled program's pool traffic in a Snapshot.
 type PoolView struct {

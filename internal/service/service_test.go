@@ -79,6 +79,13 @@ func TestConcurrentTenantsBitIdentical(t *testing.T) {
 			t.Errorf("%s/%s: output diverged from solo run (ret %d vs %d)",
 				sb.tenant, sb.prog, v.Ret, ref.Ret)
 		}
+		// Tracing is on by default; every job under the hammer must still
+		// carry a usable trace (outputs above prove it changed nothing).
+		if events, ok := s.Trace(sb.job.ID); !ok || len(events) == 0 {
+			t.Errorf("%s/%s: no trace recorded under concurrency", sb.tenant, sb.prog)
+		} else if len(v.PhaseNS) == 0 {
+			t.Errorf("%s/%s: empty phase breakdown", sb.tenant, sb.prog)
+		}
 	}
 
 	// No cross-tenant stats bleed: each tenant's accounting shows exactly

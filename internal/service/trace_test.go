@@ -1,0 +1,313 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"privateer/internal/obs"
+)
+
+// requiredPhases are the lifecycle phases every clean synchronous job must
+// exhibit in its trace (recovery only appears when something misspeculated).
+var requiredPhases = []string{
+	obs.PhaseQueued, obs.PhaseSpawn, obs.PhaseRun,
+	obs.PhaseValidate, obs.PhaseMerge, obs.PhaseCommit,
+}
+
+// TestJobTraceEndToEnd: a completed job's trace must contain every
+// lifecycle phase, the /poll view must carry the same breakdown, and the
+// numbers must be internally consistent.
+func TestJobTraceEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 4, Concurrency: 1})
+	defer s.Drain()
+	job, err := s.Submit("t1", "dijkstra", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := s.View(job)
+	if v.State != StateDone {
+		t.Fatalf("job %s: %s", v.State, v.Error)
+	}
+	if v.TraceID != job.ID {
+		t.Fatalf("trace id %q, want job id %q", v.TraceID, job.ID)
+	}
+	for _, ph := range requiredPhases {
+		if _, ok := v.PhaseNS[ph]; !ok {
+			t.Errorf("JobView.PhaseNS missing phase %s: %v", ph, v.PhaseNS)
+		}
+	}
+	events, ok := s.Trace(job.ID)
+	if !ok || len(events) == 0 {
+		t.Fatalf("no trace for job %s", job.ID)
+	}
+	if v.TraceEvents != int64(len(events)) || v.TraceDropped != 0 {
+		t.Errorf("trace accounting: view says %d events %d dropped, ring holds %d",
+			v.TraceEvents, v.TraceDropped, len(events))
+	}
+	got := obs.PhaseTotals(obs.SummarizePhases(events))
+	for ph, ns := range v.PhaseNS {
+		if got[ph] != ns {
+			t.Errorf("phase %s: view %d ns, trace %d ns", ph, ns, got[ph])
+		}
+	}
+	// An untraced job reports no trace.
+	if _, ok := s.Trace("j999999"); ok {
+		t.Error("unknown job must have no trace")
+	}
+}
+
+// TestPlantedMisspecFlight: a service run with injected misspeculation
+// must surface postmortems in the flight recorder carrying misspec counts
+// and allocation-site attribution.
+func TestPlantedMisspecFlight(t *testing.T) {
+	s := New(Config{Workers: 4, Concurrency: 1, MisspecRate: 0.5, Seed: 7})
+	defer s.Drain()
+	job, err := s.Submit("t1", "dijkstra", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := s.View(job)
+	if v.State != StateDone {
+		t.Fatalf("job %s: %s", v.State, v.Error)
+	}
+	if v.Misspecs == 0 {
+		t.Fatal("planted misspeculation did not fire; raise MisspecRate")
+	}
+	st := s.Flight().State()
+	if st.Total == 0 {
+		t.Fatal("flight recorder captured nothing")
+	}
+	var pm *obs.Postmortem
+	for i := range st.Postmortems {
+		if st.Postmortems[i].JobID == job.ID {
+			pm = &st.Postmortems[i]
+			break
+		}
+	}
+	if pm == nil {
+		t.Fatalf("no postmortem for job %s in %d captures", job.ID, st.Retained)
+	}
+	if pm.Reason != "misspec" && pm.Reason != "fallback" {
+		t.Errorf("postmortem reason %q", pm.Reason)
+	}
+	if pm.Misspecs == 0 {
+		t.Error("postmortem carries no misspeculation count")
+	}
+	if len(pm.Attribution) == 0 {
+		t.Error("postmortem carries no allocation-site attribution")
+	}
+	for _, at := range pm.Attribution {
+		if at.Cause == "" || at.Count == 0 {
+			t.Errorf("empty attribution row %+v", at)
+		}
+	}
+	if len(pm.Events) == 0 || pm.TotalEvents == 0 {
+		t.Error("postmortem carries no event snapshot")
+	}
+	if len(pm.Phases) == 0 {
+		t.Error("postmortem carries no phase breakdown")
+	}
+}
+
+// TestTraceOverflowDropAccounting (-race): concurrent jobs on deliberately
+// tiny rings must account every overwritten event — the postmortem's
+// captured-event count must equal exactly total minus dropped, and the
+// service counters must equal the per-job sums.
+func TestTraceOverflowDropAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Workers: 4, Concurrency: 4, Metrics: reg,
+		TraceCapacity:    8, // far below the ~40 events a job emits
+		PostmortemEvents: 64,
+		MisspecRate:      0.5, Seed: 7, // every job lands in the recorder
+	})
+	defer s.Drain()
+
+	const jobs = 12
+	var wg sync.WaitGroup
+	jl := make([]*Job, jobs)
+	for i := 0; i < jobs; i++ {
+		job, err := s.Submit("hammer", "dijkstra", "train")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jl[i] = job
+		wg.Add(1)
+		go func(j *Job) { defer wg.Done(); <-j.Done() }(job)
+	}
+	wg.Wait()
+
+	var sumTotal, sumDropped int64
+	for _, job := range jl {
+		v := s.View(job)
+		if v.State != StateDone {
+			t.Fatalf("job %s %s: %s", job.ID, v.State, v.Error)
+		}
+		if v.TraceDropped == 0 {
+			t.Errorf("job %s: ring of 8 did not overflow (total %d)", job.ID, v.TraceEvents)
+		}
+		events, _ := s.Trace(job.ID)
+		if got, want := int64(len(events)), v.TraceEvents-v.TraceDropped; got != want {
+			t.Errorf("job %s: retained %d events, want total-dropped = %d", job.ID, got, want)
+		}
+		sumTotal += v.TraceEvents
+		sumDropped += v.TraceDropped
+	}
+
+	// The flight recorder must have captured exactly what the ring still
+	// held: total minus dropped, since PostmortemEvents exceeds the ring.
+	st := s.Flight().State()
+	byJob := map[string]obs.Postmortem{}
+	for _, pm := range st.Postmortems {
+		byJob[pm.JobID] = pm
+	}
+	for _, job := range jl {
+		pm, ok := byJob[job.ID]
+		if !ok {
+			continue // evicted by a later capture; the retained ones must balance
+		}
+		if got, want := int64(len(pm.Events)), pm.TotalEvents-pm.DroppedEvents; got != want {
+			t.Errorf("postmortem %s: %d events captured, want %d (total %d - dropped %d)",
+				job.ID, got, want, pm.TotalEvents, pm.DroppedEvents)
+		}
+		if pm.DroppedEvents == 0 {
+			t.Errorf("postmortem %s reports no drops from an overflowed ring", job.ID)
+		}
+	}
+
+	// Service-level counters aggregate the same accounting.
+	if got := reg.Counter("privateer_service_trace_events_total", "").Value(); got != sumTotal {
+		t.Errorf("trace_events_total %d, want %d", got, sumTotal)
+	}
+	if got := reg.Counter("privateer_service_trace_dropped_events_total", "").Value(); got != sumDropped {
+		t.Errorf("trace_dropped_events_total %d, want %d", got, sumDropped)
+	}
+}
+
+// TestTracingDisabled: a negative TraceCapacity must disable per-job
+// tracing without disturbing the job lifecycle.
+func TestTracingDisabled(t *testing.T) {
+	s := New(Config{Workers: 2, Concurrency: 1, TraceCapacity: -1})
+	defer s.Drain()
+	job, err := s.Submit("t1", "dijkstra", "train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := s.View(job)
+	if v.State != StateDone {
+		t.Fatalf("job %s: %s", v.State, v.Error)
+	}
+	if v.TraceID != "" || v.TraceEvents != 0 || len(v.PhaseNS) != 0 {
+		t.Errorf("untraced job leaked trace state: %+v", v)
+	}
+	if _, ok := s.Trace(job.ID); ok {
+		t.Error("Trace must report false for an untraced job")
+	}
+}
+
+// TestHTTPJobTraceAndFlight: the /jobs/{id}/trace endpoint must serve
+// Chrome-shaped JSON with every lifecycle phase, reject malformed paths
+// with 400 and unknown jobs with 404; /debug/flight must serve the
+// recorder state.
+func TestHTTPJobTraceAndFlight(t *testing.T) {
+	s, base := startAPI(t, Config{Workers: 4, Concurrency: 1, MisspecRate: 0.5, Seed: 7})
+	code, view, _ := submitHTTP(t, base, SubmitRequest{Tenant: "t1", Prog: "dijkstra", Input: "train"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	job := mustJob(t, s, view.ID)
+	waitDone(t, job)
+
+	resp, err := http.Get(base + "/jobs/" + view.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace: %d (%s)", view.ID, resp.StatusCode, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			seen[ev.Name] = true
+		}
+	}
+	for _, ph := range requiredPhases {
+		if !seen["phase: "+ph] {
+			t.Errorf("trace missing synthesized slice for phase %s", ph)
+		}
+	}
+
+	for path, want := range map[string]int{
+		"/jobs/zzz/trace":           http.StatusNotFound,
+		"/jobs/" + view.ID:          http.StatusBadRequest,
+		"/jobs/" + view.ID + "/nah": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.FlightState
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/flight: %d, %v", resp.StatusCode, err)
+	}
+	if st.Total == 0 || len(st.Postmortems) == 0 {
+		t.Errorf("flight state empty after a misspeculating job: %+v", st)
+	}
+}
+
+// TestReadyzFlipsOnDrain: the readiness probe must answer 200 while
+// serving and 503 once a drain begins.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s, base := startAPI(t, Config{Workers: 2, Concurrency: 1})
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", resp.StatusCode)
+	}
+	if resp2, err := http.Get(base + "/healthz"); err != nil || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %v", err)
+	} else {
+		resp2.Body.Close()
+	}
+	s.Drain()
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", resp.StatusCode)
+	}
+}

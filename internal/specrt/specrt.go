@@ -375,7 +375,7 @@ func (rt *RT) Run(args ...uint64) (uint64, error) {
 		master.StepLimit = rt.Cfg.StepLimit
 	}
 	rt.master = master
-	master.AS.Trace = rt.Cfg.Trace
+	master.SetTrace(rt.Cfg.Trace, -1, -1)
 	master.AS.Occ = rt.occ
 	master.AS.EagerClone = rt.Cfg.EagerClone
 	if rt.Cfg.Metrics != nil {
@@ -734,6 +734,7 @@ func (rt *RT) commitOne(c *checkpoint) int64 {
 // deferred output in order (the synchronous commit path; the pipelined
 // committer instead calls commitOne per interval as each quiesces).
 func (rt *RT) commitChain(cp *checkpoint, inv int64) {
+	tr := rt.Cfg.Trace
 	var chain []*checkpoint
 	for c := cp; c != nil; c = c.prev {
 		if c.committed {
@@ -741,12 +742,13 @@ func (rt *RT) commitChain(cp *checkpoint, inv int64) {
 		}
 		chain = append(chain, c)
 	}
+	t0 := tr.Now()
 	var committed int64
 	for i := len(chain) - 1; i >= 0; i-- {
 		committed += rt.commitOne(chain[i])
 	}
-	if len(chain) > 0 {
-		rt.Cfg.Trace.Instant(obs.Event{Kind: obs.KCommit,
+	if len(chain) > 0 && tr.On() {
+		tr.Emit(obs.Event{Kind: obs.KCommit, TimeNS: t0, DurNS: tr.Now() - t0,
 			Invocation: inv, Worker: -1, Iter: cp.id, A: committed})
 	}
 }

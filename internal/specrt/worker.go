@@ -146,6 +146,8 @@ func (sp *spanState) run() (*checkpoint, int64, error) {
 	tr.Instant(obs.Event{Kind: obs.KPhase,
 		Invocation: sp.inv, Worker: -1, Iter: -1, Cause: "fast"})
 	spawnStart := time.Now()
+	warm0 := atomic.LoadInt64(&rt.Stats.WarmSpawns)
+	trSpawn := tr.Now()
 	ws := make([]*worker, workers)
 	for w := 0; w < workers; w++ {
 		wk, err := newWorker(sp, w, workers)
@@ -157,6 +159,21 @@ func (sp *spanState) run() (*checkpoint, int64, error) {
 			Invocation: sp.inv, Worker: w, Iter: -1})
 	}
 	atomic.AddInt64(&rt.Stats.SpawnNS, int64(time.Since(spawnStart)))
+	if tr.On() {
+		// One fleet-level spawn span on the runtime lane, attributing the
+		// whole privatization step and how much of it the warmed pool
+		// satisfied; the per-worker instants above fall inside it.
+		warm := atomic.LoadInt64(&rt.Stats.WarmSpawns) - warm0
+		cause := "cold"
+		switch {
+		case workers > 0 && warm == int64(workers):
+			cause = "warm"
+		case warm > 0:
+			cause = "mixed"
+		}
+		tr.Emit(obs.Event{Kind: obs.KSpawn, TimeNS: trSpawn, DurNS: tr.Now() - trSpawn,
+			Invocation: sp.inv, Worker: -1, Iter: -1, A: warm, B: int64(workers), Cause: cause})
+	}
 
 	// Pipelined mode: start the background committer before the workers, so
 	// interval 0 can validate and commit the moment it quiesces.
@@ -383,7 +400,7 @@ func newWorker(sp *spanState, id, stride int) (*worker, error) {
 		// is pre-decoded once per run, not once per worker per span.
 		w.it = interp.NewShared(rt.master.Program(), w.as)
 	}
-	w.as.TraceWorker = id
+	w.it.SetTrace(rt.Cfg.Trace, id, sp.inv)
 	// Workers see the read-only heap as truly read-only, and the
 	// reduction heap starts at the operator's identity. A failure here
 	// means the worker would speculate from a corrupt base state — that is
@@ -748,6 +765,7 @@ func (w *worker) run() error {
 		// to the committer, or the committer could see the interval quiesce
 		// and install it without observing the flag.
 		cpStart := time.Now()
+		trC := tr.Now()
 		cp := sp.checkpointFor(c)
 		// Under cyclic assignment the interval's last iteration (limit-1)
 		// belongs to exactly one worker; only its view of the statically-
@@ -764,7 +782,7 @@ func (w *worker) run() error {
 		w.io = nil
 		w.resetShadow()
 		atomic.AddInt64(&rt.Stats.CheckpointNS, int64(time.Since(cpStart)))
-		tr.Instant(obs.Event{Kind: obs.KContribute,
+		tr.Emit(obs.Event{Kind: obs.KContribute, TimeNS: trC, DurNS: tr.Now() - trC,
 			Invocation: sp.inv, Worker: w.id, Iter: c, A: scanned})
 		if !ok {
 			sp.flag(base, w.id, "privacy violated (merge)", "",
